@@ -1,0 +1,59 @@
+// Ablation: parallel local search (the paper's §VIII future-work
+// direction). Measures strided-seed parallel speedup at 1 / 2 / 4 workers
+// on the size-constrained sum problem.
+
+#include <benchmark/benchmark.h>
+
+#include "common/bench_env.h"
+#include "core/local_search.h"
+
+namespace {
+
+using ticl::bench::Dataset;
+using ticl::bench::DisplayName;
+
+void BM_Parallel(benchmark::State& state, ticl::StandIn dataset,
+                 unsigned threads) {
+  const ticl::Graph& g = Dataset(dataset);
+  ticl::Query query;
+  query.k = 4;
+  query.r = 5;
+  query.size_limit = 20;
+  query.aggregation = ticl::AggregationSpec::Sum();
+  ticl::LocalSearchOptions options;
+  options.num_threads = threads;
+  ticl::SearchResult result;
+  for (auto _ : state) {
+    result = ticl::LocalSearch(g, query, options);
+    benchmark::DoNotOptimize(result.communities.data());
+  }
+  state.counters["rth_influence"] =
+      result.communities.empty() ? 0.0 : result.communities.back().influence;
+  state.counters["seeds"] = static_cast<double>(result.stats.seeds_processed);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (const ticl::StandIn dataset :
+       {ticl::StandIn::kYoutube, ticl::StandIn::kOrkut,
+        ticl::StandIn::kFriendster}) {
+    for (const unsigned threads : {1u, 2u, 4u}) {
+      benchmark::RegisterBenchmark(
+          ("AblationParallel/" + DisplayName(dataset) + "/threads:" +
+           std::to_string(threads))
+              .c_str(),
+          [dataset, threads](benchmark::State& state) {
+            BM_Parallel(state, dataset, threads);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond)
+          ->MeasureProcessCPUTime()
+          ->UseRealTime();
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation: S2's O(n + m) bucket core decomposition (Batagelj–Zaveršnik)
+// vs the O(n^2) repeated-minimum-scan reference implementation.
+
+#include <benchmark/benchmark.h>
+
+#include "algo/core_decomposition.h"
+#include "common/bench_env.h"
+
+namespace {
+
+using ticl::bench::Dataset;
+using ticl::bench::DisplayName;
+
+void BM_Bucket(benchmark::State& state, ticl::StandIn dataset) {
+  const ticl::Graph& g = Dataset(dataset);
+  for (auto _ : state) {
+    const auto decomp = ticl::CoreDecomposition(g);
+    benchmark::DoNotOptimize(decomp.degeneracy);
+  }
+}
+
+void BM_NaiveScan(benchmark::State& state, ticl::StandIn dataset) {
+  const ticl::Graph& g = Dataset(dataset);
+  for (auto _ : state) {
+    const auto decomp = ticl::CoreDecompositionNaive(g);
+    benchmark::DoNotOptimize(decomp.degeneracy);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  // The O(n^2) reference is only tractable on the small group.
+  for (const ticl::StandIn dataset :
+       {ticl::StandIn::kEmail, ticl::StandIn::kDblp,
+        ticl::StandIn::kYoutube}) {
+    benchmark::RegisterBenchmark(
+        ("AblationPeel/" + DisplayName(dataset) + "/Bucket").c_str(),
+        [dataset](benchmark::State& state) { BM_Bucket(state, dataset); })
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("AblationPeel/" + DisplayName(dataset) + "/NaiveScan").c_str(),
+        [dataset](benchmark::State& state) { BM_NaiveScan(state, dataset); })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

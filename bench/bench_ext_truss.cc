@@ -1,0 +1,102 @@
+// Extension bench: the k-truss influential community model (paper §I/§VII
+// pointer) vs the k-core model on the same stand-ins — decomposition cost
+// and top-r search cost/values side by side.
+
+#include <benchmark/benchmark.h>
+
+#include "algo/core_decomposition.h"
+#include "algo/truss_decomposition.h"
+#include "common/bench_env.h"
+#include "core/improved_search.h"
+#include "core/truss_search.h"
+
+namespace {
+
+using ticl::bench::Dataset;
+using ticl::bench::DisplayName;
+
+void BM_TrussDecomposition(benchmark::State& state, ticl::StandIn dataset) {
+  const ticl::Graph& g = Dataset(dataset);
+  ticl::VertexId max_truss = 0;
+  for (auto _ : state) {
+    const auto decomp = ticl::TrussDecomposition(g);
+    max_truss = decomp.max_truss;
+    benchmark::DoNotOptimize(max_truss);
+  }
+  state.counters["max_truss"] = max_truss;
+}
+
+void BM_TrussTopR(benchmark::State& state, ticl::StandIn dataset,
+                  ticl::VertexId k) {
+  const ticl::Graph& g = Dataset(dataset);
+  ticl::Query query;
+  query.k = k;
+  query.r = 5;
+  query.aggregation = ticl::AggregationSpec::Sum();
+  ticl::SearchResult result;
+  for (auto _ : state) {
+    result = ticl::TrussImprovedSearch(g, query);
+    benchmark::DoNotOptimize(result.communities.data());
+  }
+  state.counters["communities"] =
+      static_cast<double>(result.communities.size());
+  state.counters["top_influence"] =
+      result.communities.empty() ? 0.0 : result.communities[0].influence;
+}
+
+void BM_CoreTopR(benchmark::State& state, ticl::StandIn dataset,
+                 ticl::VertexId k) {
+  const ticl::Graph& g = Dataset(dataset);
+  ticl::Query query;
+  query.k = k;
+  query.r = 5;
+  query.aggregation = ticl::AggregationSpec::Sum();
+  ticl::SearchResult result;
+  for (auto _ : state) {
+    result = ticl::ImprovedSearch(g, query);
+    benchmark::DoNotOptimize(result.communities.data());
+  }
+  state.counters["communities"] =
+      static_cast<double>(result.communities.size());
+  state.counters["top_influence"] =
+      result.communities.empty() ? 0.0 : result.communities[0].influence;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  for (const ticl::StandIn dataset :
+       {ticl::StandIn::kEmail, ticl::StandIn::kDblp}) {
+    benchmark::RegisterBenchmark(
+        ("ExtTruss/" + DisplayName(dataset) + "/TrussDecomposition").c_str(),
+        [dataset](benchmark::State& state) {
+          BM_TrussDecomposition(state, dataset);
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+    for (const ticl::VertexId k : {4u, 5u}) {
+      benchmark::RegisterBenchmark(
+          ("ExtTruss/" + DisplayName(dataset) + "/TrussTopR/k:" +
+           std::to_string(k))
+              .c_str(),
+          [dataset, k](benchmark::State& state) {
+            BM_TrussTopR(state, dataset, k);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+      benchmark::RegisterBenchmark(
+          ("ExtTruss/" + DisplayName(dataset) + "/CoreTopR/k:" +
+           std::to_string(k))
+              .c_str(),
+          [dataset, k](benchmark::State& state) {
+            BM_CoreTopR(state, dataset, k);
+          })
+          ->Iterations(1)
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

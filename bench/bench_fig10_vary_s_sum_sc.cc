@@ -1,0 +1,16 @@
+// Paper Fig. 10: running time vs s (sum, size-constrained) — local search
+// Random vs Greedy, k = 4, r = 5.
+
+#include <benchmark/benchmark.h>
+
+#include "common/constrained_fig.h"
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  ticl::bench::RegisterConstrainedFigure(
+      {"Fig10", ticl::bench::ConstrainedAxis::kVaryS,
+       ticl::AggregationSpec::Sum()});
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Paper Fig. 11: running time vs s (avg, size-constrained) — local search
+// Random vs Greedy, k = 4, r = 5.
+
+#include <benchmark/benchmark.h>
+
+#include "common/constrained_fig.h"
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  ticl::bench::RegisterConstrainedFigure(
+      {"Fig11", ticl::bench::ConstrainedAxis::kVaryS,
+       ticl::AggregationSpec::Avg()});
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Paper Fig. 12: effectiveness — the r-th influence value reached by
+// Greedy vs Random local search (sum, size-constrained, r = 5, s = 20,
+// k in {4,6,8,10}). The headline metric is the rth_influence counter;
+// Greedy should dominate Random at every point.
+
+#include <benchmark/benchmark.h>
+
+#include "common/constrained_fig.h"
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  ticl::bench::RegisterConstrainedFigure(
+      {"Fig12", ticl::bench::ConstrainedAxis::kVaryK,
+       ticl::AggregationSpec::Sum()});
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

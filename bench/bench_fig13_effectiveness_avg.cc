@@ -1,0 +1,17 @@
+// Paper Fig. 13: effectiveness — the r-th influence value reached by
+// Greedy vs Random local search (avg, size-constrained, r = 5, s = 20,
+// k in {4,6,8,10}). The headline metric is the rth_influence counter.
+
+#include <benchmark/benchmark.h>
+
+#include "common/constrained_fig.h"
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  ticl::bench::RegisterConstrainedFigure(
+      {"Fig13", ticl::bench::ConstrainedAxis::kVaryK,
+       ticl::AggregationSpec::Avg()});
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Paper Fig. 2: running time vs k (sum, size-unconstrained) — Naive vs
+// Improve vs Approx on all six stand-in datasets. Naive points whose cost
+// model exceeds the budget are omitted, matching the paper's missing
+// points.
+
+#include <benchmark/benchmark.h>
+
+#include "common/unconstrained_fig.h"
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  ticl::bench::RegisterUnconstrainedFigure(
+      {"Fig2", ticl::bench::UnconstrainedAxis::kVaryK, false});
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

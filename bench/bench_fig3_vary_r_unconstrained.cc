@@ -1,0 +1,15 @@
+// Paper Fig. 3: running time vs r (sum, size-unconstrained) — Naive vs
+// Improve vs Approx at each dataset's default k (4 small / 40 large).
+
+#include <benchmark/benchmark.h>
+
+#include "common/unconstrained_fig.h"
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  ticl::bench::RegisterUnconstrainedFigure(
+      {"Fig3", ticl::bench::UnconstrainedAxis::kVaryR, false});
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Paper Fig. 4: running time vs k for the Approx algorithm across epsilon
+// in {0.01, 0.05, 0.1, 0.2, 0.5} (sum, size-unconstrained).
+
+#include <benchmark/benchmark.h>
+
+#include "common/unconstrained_fig.h"
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  ticl::bench::RegisterUnconstrainedFigure(
+      {"Fig4", ticl::bench::UnconstrainedAxis::kVaryK, true});
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,15 @@
+// Paper Fig. 5: running time vs r for the Approx algorithm across epsilon
+// in {0.01, 0.05, 0.1, 0.2, 0.5} (sum, size-unconstrained).
+
+#include <benchmark/benchmark.h>
+
+#include "common/unconstrained_fig.h"
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  ticl::bench::RegisterUnconstrainedFigure(
+      {"Fig5", ticl::bench::UnconstrainedAxis::kVaryR, true});
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

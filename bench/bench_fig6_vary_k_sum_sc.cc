@@ -1,0 +1,16 @@
+// Paper Fig. 6: running time vs k (sum, size-constrained) — local search
+// Random vs Greedy, r = 5, s = 20.
+
+#include <benchmark/benchmark.h>
+
+#include "common/constrained_fig.h"
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  ticl::bench::RegisterConstrainedFigure(
+      {"Fig6", ticl::bench::ConstrainedAxis::kVaryK,
+       ticl::AggregationSpec::Sum()});
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Paper Fig. 7: running time vs k (avg, size-constrained) — local search
+// Random vs Greedy, r = 5, s = 20.
+
+#include <benchmark/benchmark.h>
+
+#include "common/constrained_fig.h"
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  ticl::bench::RegisterConstrainedFigure(
+      {"Fig7", ticl::bench::ConstrainedAxis::kVaryK,
+       ticl::AggregationSpec::Avg()});
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

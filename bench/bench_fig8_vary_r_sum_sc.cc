@@ -1,0 +1,16 @@
+// Paper Fig. 8: running time vs r (sum, size-constrained) — local search
+// Random vs Greedy, k = 4, s = 20.
+
+#include <benchmark/benchmark.h>
+
+#include "common/constrained_fig.h"
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  ticl::bench::RegisterConstrainedFigure(
+      {"Fig8", ticl::bench::ConstrainedAxis::kVaryR,
+       ticl::AggregationSpec::Sum()});
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Paper Fig. 9: running time vs r (avg, size-constrained) — local search
+// Random vs Greedy, k = 4, s = 20.
+
+#include <benchmark/benchmark.h>
+
+#include "common/constrained_fig.h"
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  ticl::bench::RegisterConstrainedFigure(
+      {"Fig9", ticl::bench::ConstrainedAxis::kVaryR,
+       ticl::AggregationSpec::Avg()});
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Paper Table III: dataset statistics. Prints the stand-in suite's
+// n / m / d_max / d_avg / k_max next to the original SNAP numbers the
+// paper reports, and benchmarks generation + core decomposition per
+// dataset.
+
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "algo/core_decomposition.h"
+#include "common/bench_env.h"
+#include "util/stats.h"
+
+namespace {
+
+using ticl::bench::Dataset;
+using ticl::bench::KMax;
+using ticl::bench::Scale;
+using ticl::bench::Spec;
+
+void PrintTable() {
+  std::printf("\nTable III: Datasets (stand-ins at TICL_SCALE=%.2f; "
+              "paper originals in parentheses)\n",
+              Scale());
+  std::printf("%-12s %12s %14s %7s %7s %6s   %-24s\n", "dataset",
+              "#vertices", "#edges", "dmax", "davg", "kmax",
+              "paper (n, m)");
+  for (const ticl::StandIn dataset : ticl::AllStandIns()) {
+    const ticl::Graph& g = Dataset(dataset);
+    const auto spec = Spec(dataset);
+    std::printf("%-12s %12s %14s %7u %7.2f %6u   (%s, %s)\n",
+                spec.name.c_str(),
+                ticl::FormatWithCommas(g.num_vertices()).c_str(),
+                ticl::FormatWithCommas(g.num_edges()).c_str(),
+                g.max_degree(), g.average_degree(), KMax(dataset),
+                ticl::FormatWithCommas(spec.paper_vertices).c_str(),
+                ticl::FormatWithCommas(spec.paper_edges).c_str());
+  }
+  std::printf("\n");
+}
+
+void BM_Generate(benchmark::State& state, ticl::StandIn dataset) {
+  for (auto _ : state) {
+    ticl::Graph g = ticl::GenerateStandIn(dataset, Scale());
+    benchmark::DoNotOptimize(g.num_edges());
+  }
+}
+
+void BM_CoreDecomposition(benchmark::State& state, ticl::StandIn dataset) {
+  const ticl::Graph& g = Dataset(dataset);
+  for (auto _ : state) {
+    const auto decomp = ticl::CoreDecomposition(g);
+    benchmark::DoNotOptimize(decomp.degeneracy);
+  }
+  state.counters["kmax"] = KMax(dataset);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  PrintTable();
+  for (const ticl::StandIn dataset : ticl::AllStandIns()) {
+    const std::string name = ticl::bench::DisplayName(dataset);
+    benchmark::RegisterBenchmark(
+        ("Table3/Generate/" + name).c_str(),
+        [dataset](benchmark::State& state) { BM_Generate(state, dataset); })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(
+        ("Table3/CoreDecomposition/" + name).c_str(),
+        [dataset](benchmark::State& state) {
+          BM_CoreDecomposition(state, dataset);
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,131 @@
+#include "common/bench_env.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "algo/core_decomposition.h"
+#include "algo/weights.h"
+
+namespace ticl::bench {
+
+namespace {
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  if (end == value || parsed <= 0.0) return fallback;
+  return parsed;
+}
+
+struct CachedDataset {
+  Graph graph;
+  VertexId kmax = 0;
+};
+
+CachedDataset& Cached(StandIn dataset) {
+  static std::map<StandIn, CachedDataset> cache;
+  auto it = cache.find(dataset);
+  if (it == cache.end()) {
+    CachedDataset entry;
+    entry.graph = GenerateStandIn(dataset, Scale());
+    AssignWeights(&entry.graph, WeightScheme::kPageRank);
+    entry.kmax = CoreDecomposition(entry.graph).degeneracy;
+    it = cache.emplace(dataset, std::move(entry)).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+double Scale() {
+  static const double scale = EnvDouble("TICL_SCALE", 1.0);
+  return scale;
+}
+
+const Graph& Dataset(StandIn dataset) { return Cached(dataset).graph; }
+
+DatasetSpec Spec(StandIn dataset) { return GetDatasetSpec(dataset, Scale()); }
+
+VertexId KMax(StandIn dataset) { return Cached(dataset).kmax; }
+
+VertexId DefaultK(StandIn dataset) {
+  const DatasetSpec spec = Spec(dataset);
+  if (!spec.large) return std::min<VertexId>(4, KMax(dataset));
+  return std::min<VertexId>(40, KMax(dataset));
+}
+
+std::vector<VertexId> UnconstrainedKSweep(StandIn dataset) {
+  const DatasetSpec spec = Spec(dataset);
+  std::vector<VertexId> sweep = spec.large
+                                    ? std::vector<VertexId>{20, 30, 40, 50}
+                                    : std::vector<VertexId>{4, 6, 8, 10};
+  const VertexId kmax = KMax(dataset);
+  std::erase_if(sweep, [kmax](VertexId k) { return k > kmax; });
+  return sweep;
+}
+
+std::vector<VertexId> ConstrainedKSweep(StandIn dataset) {
+  std::vector<VertexId> sweep{4, 6, 8, 10};
+  const VertexId kmax = KMax(dataset);
+  std::erase_if(sweep, [kmax](VertexId k) { return k > kmax; });
+  return sweep;
+}
+
+std::vector<std::uint32_t> RSweep() { return {5, 10, 15, 20}; }
+
+std::vector<VertexId> SSweep() { return {5, 10, 15, 20}; }
+
+std::vector<double> EpsilonSweep() { return {0.01, 0.05, 0.1, 0.2, 0.5}; }
+
+bool NaiveFeasible(StandIn dataset, VertexId k, std::uint32_t r) {
+  static const double budget = EnvDouble("TICL_NAIVE_BUDGET", 2.5e9);
+  const Graph& g = Dataset(dataset);
+  const VertexList core = MaximalKCore(g, k);
+  if (core.empty()) return false;
+  // Induced edge count of the core.
+  std::vector<std::uint8_t> in_core(g.num_vertices(), 0);
+  for (const VertexId v : core) in_core[v] = 1;
+  std::uint64_t core_degree_sum = 0;
+  for (const VertexId v : core) {
+    for (const VertexId nbr : g.neighbors(v)) core_degree_sum += in_core[nbr];
+  }
+  const double cost = static_cast<double>(core.size()) * r *
+                      (static_cast<double>(core.size()) +
+                       static_cast<double>(core_degree_sum));
+  return cost <= budget;
+}
+
+void RunSolveBenchmark(benchmark::State& state, const Graph& g,
+                       const Query& query, const SolveOptions& options) {
+  SearchResult result;
+  for (auto _ : state) {
+    result = Solve(g, query, options);
+    benchmark::DoNotOptimize(result.communities.data());
+  }
+  state.counters["communities"] =
+      static_cast<double>(result.communities.size());
+  state.counters["rth_influence"] =
+      result.communities.empty()
+          ? 0.0
+          : result.communities.back().influence;
+  state.counters["top_influence"] =
+      result.communities.empty() ? 0.0
+                                 : result.communities.front().influence;
+  state.counters["peels"] = static_cast<double>(result.stats.peel_operations);
+  state.counters["candidates"] =
+      static_cast<double>(result.stats.candidates_generated);
+  state.counters["pruned"] =
+      static_cast<double>(result.stats.candidates_pruned);
+}
+
+std::string DisplayName(StandIn dataset) {
+  std::string name = StandInName(dataset);
+  name[0] = static_cast<char>(std::toupper(name[0]));
+  return name;
+}
+
+}  // namespace ticl::bench

@@ -1,0 +1,77 @@
+// Shared environment for all benchmark binaries: cached stand-in datasets
+// (PageRank-weighted, per the paper's setup), parameter sweeps mirroring
+// the paper's §VI settings, and result counters.
+//
+// TICL_SCALE=<float> multiplies stand-in sizes (default 1.0). All sweeps
+// are computed at registration time against the dataset's actual k_max, so
+// infeasible configurations are skipped exactly like the paper's "missing
+// point indicates the algorithm cannot terminate" convention.
+
+#ifndef TICL_BENCH_COMMON_BENCH_ENV_H_
+#define TICL_BENCH_COMMON_BENCH_ENV_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/result.h"
+#include "core/search.h"
+#include "gen/dataset_suite.h"
+#include "graph/graph.h"
+
+namespace ticl::bench {
+
+/// TICL_SCALE env var (default 1.0).
+double Scale();
+
+/// The stand-in graph, generated once per process, PageRank weights
+/// installed (damping 0.85, the paper's weighting).
+const Graph& Dataset(StandIn dataset);
+
+/// The spec at the current scale.
+DatasetSpec Spec(StandIn dataset);
+
+/// Degeneracy of the stand-in (cached).
+VertexId KMax(StandIn dataset);
+
+/// Default degree bound: the paper uses k = 4 on the small group and
+/// k = 40 on the large group; clamped so the k-core is non-empty.
+VertexId DefaultK(StandIn dataset);
+
+/// k sweep for the size-unconstrained experiments (paper Figs. 2/4):
+/// {4,6,8,10} small, {20,30,40,50} large; values above k_max dropped.
+std::vector<VertexId> UnconstrainedKSweep(StandIn dataset);
+
+/// k sweep for the size-constrained experiments (paper Figs. 6/7/12/13):
+/// {4,6,8,10} on every dataset.
+std::vector<VertexId> ConstrainedKSweep(StandIn dataset);
+
+/// r sweep {5, 10, 15, 20} (paper Figs. 3/5/8/9).
+std::vector<std::uint32_t> RSweep();
+
+/// s sweep {5, 10, 15, 20} (paper Figs. 10/11).
+std::vector<VertexId> SSweep();
+
+/// epsilon sweep {0.01, 0.05, 0.1, 0.2, 0.5} (paper Figs. 4/5).
+std::vector<double> EpsilonSweep();
+
+/// Cost-model guard for Algorithm 1: true when the O(n * r * (n + m))
+/// naive run fits the per-point budget (TICL_NAIVE_BUDGET, default 8e9
+/// elementary operations — roughly two minutes). Mirrors the paper's
+/// missing naive points.
+bool NaiveFeasible(StandIn dataset, VertexId k, std::uint32_t r);
+
+/// Runs Solve() once per benchmark iteration and reports the standard
+/// counters (communities found, r-th influence value, peel operations,
+/// candidates generated/pruned).
+void RunSolveBenchmark(benchmark::State& state, const Graph& g,
+                       const Query& query, const SolveOptions& options);
+
+/// "email", "dblp", ... with the first letter capitalized for display.
+std::string DisplayName(StandIn dataset);
+
+}  // namespace ticl::bench
+
+#endif  // TICL_BENCH_COMMON_BENCH_ENV_H_

@@ -1,0 +1,95 @@
+// Shared registration harness for the size-constrained figures
+// (paper Figs. 6-13): local search Random vs Greedy on every stand-in,
+// sweeping k, r, or s. The effectiveness figures (12-13) run the same
+// sweep; their headline metric is the rth_influence counter.
+
+#ifndef TICL_BENCH_COMMON_CONSTRAINED_FIG_H_
+#define TICL_BENCH_COMMON_CONSTRAINED_FIG_H_
+
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "common/bench_env.h"
+
+namespace ticl::bench {
+
+enum class ConstrainedAxis { kVaryK, kVaryR, kVaryS };
+
+struct ConstrainedFig {
+  std::string figure;  // e.g. "Fig6"
+  ConstrainedAxis axis = ConstrainedAxis::kVaryK;
+  AggregationSpec aggregation = AggregationSpec::Sum();
+};
+
+inline void RegisterConstrainedPoint(const ConstrainedFig& fig,
+                                     StandIn dataset, VertexId k,
+                                     std::uint32_t r, VertexId s) {
+  if (k > KMax(dataset)) return;  // empty core: "missing point"
+  Query query;
+  query.k = k;
+  query.r = r;
+  query.size_limit = s;
+  query.aggregation = fig.aggregation;
+  const Graph& g = Dataset(dataset);
+
+  std::string axis_tag;
+  switch (fig.axis) {
+    case ConstrainedAxis::kVaryK:
+      axis_tag = "/k:" + std::to_string(k);
+      break;
+    case ConstrainedAxis::kVaryR:
+      axis_tag = "/r:" + std::to_string(r);
+      break;
+    case ConstrainedAxis::kVaryS:
+      axis_tag = "/s:" + std::to_string(s);
+      break;
+  }
+  const std::string base = fig.figure + "/" + DisplayName(dataset);
+
+  for (const bool greedy : {false, true}) {
+    SolveOptions options;
+    options.solver =
+        greedy ? SolverKind::kLocalGreedy : SolverKind::kLocalRandom;
+    benchmark::RegisterBenchmark(
+        (base + (greedy ? "/Greedy" : "/Random") + axis_tag).c_str(),
+        [&g, query, options](benchmark::State& state) {
+          RunSolveBenchmark(state, g, query, options);
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+inline void RegisterConstrainedFigure(const ConstrainedFig& fig) {
+  // Paper defaults for the size-constrained experiments: r = 5, s = 20,
+  // k = 4 on every dataset (the Figs. 6-11 x-axes run k over 4..10 even on
+  // the large group; k = 40 would make the default s = 20 infeasible).
+  constexpr std::uint32_t kDefaultR = 5;
+  constexpr VertexId kDefaultK = 4;
+  constexpr VertexId kDefaultS = 20;
+  for (const StandIn dataset : AllStandIns()) {
+    switch (fig.axis) {
+      case ConstrainedAxis::kVaryK:
+        for (const VertexId k : ConstrainedKSweep(dataset)) {
+          RegisterConstrainedPoint(fig, dataset, k, kDefaultR, kDefaultS);
+        }
+        break;
+      case ConstrainedAxis::kVaryR:
+        for (const std::uint32_t r : RSweep()) {
+          RegisterConstrainedPoint(fig, dataset, kDefaultK, r, kDefaultS);
+        }
+        break;
+      case ConstrainedAxis::kVaryS:
+        for (const VertexId s : SSweep()) {
+          if (s < kDefaultK + 1) continue;  // no k-core fits the bound
+          RegisterConstrainedPoint(fig, dataset, kDefaultK, kDefaultR, s);
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace ticl::bench
+
+#endif  // TICL_BENCH_COMMON_CONSTRAINED_FIG_H_

@@ -1,0 +1,93 @@
+// Shared registration harness for the size-unconstrained figures
+// (paper Figs. 2-5): Naive / Improve / Approx on every stand-in dataset,
+// sweeping k or r, optionally across epsilon values.
+
+#ifndef TICL_BENCH_COMMON_UNCONSTRAINED_FIG_H_
+#define TICL_BENCH_COMMON_UNCONSTRAINED_FIG_H_
+
+#include <cstdio>
+#include <string>
+
+#include <benchmark/benchmark.h>
+
+#include "common/bench_env.h"
+
+namespace ticl::bench {
+
+enum class UnconstrainedAxis { kVaryK, kVaryR };
+
+struct UnconstrainedFig {
+  std::string figure;            // e.g. "Fig2"
+  UnconstrainedAxis axis = UnconstrainedAxis::kVaryK;
+  /// false: register Naive + Improve + Approx(0.1) per point (Figs. 2-3);
+  /// true: register Approx per epsilon in EpsilonSweep() (Figs. 4-5).
+  bool epsilon_sweep = false;
+};
+
+inline void RegisterUnconstrainedPoint(const UnconstrainedFig& fig,
+                                       StandIn dataset, VertexId k,
+                                       std::uint32_t r) {
+  Query query;
+  query.k = k;
+  query.r = r;
+  query.aggregation = AggregationSpec::Sum();
+  const Graph& g = Dataset(dataset);
+  const std::string axis_tag =
+      fig.axis == UnconstrainedAxis::kVaryK ? "/k:" + std::to_string(k)
+                                            : "/r:" + std::to_string(r);
+  const std::string base = fig.figure + "/" + DisplayName(dataset);
+
+  const auto add = [&](const std::string& solver_name,
+                       SolveOptions options) {
+    benchmark::RegisterBenchmark(
+        (base + "/" + solver_name + axis_tag).c_str(),
+        [&g, query, options](benchmark::State& state) {
+          RunSolveBenchmark(state, g, query, options);
+        })
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  };
+
+  if (!fig.epsilon_sweep) {
+    if (NaiveFeasible(dataset, k, r)) {
+      SolveOptions naive;
+      naive.solver = SolverKind::kNaive;
+      add("Naive", naive);
+    }
+    SolveOptions improve;
+    improve.solver = SolverKind::kImproved;
+    add("Improve", improve);
+    SolveOptions approx;
+    approx.solver = SolverKind::kApprox;
+    approx.epsilon = 0.1;  // paper default
+    add("Approx", approx);
+  } else {
+    for (const double epsilon : EpsilonSweep()) {
+      SolveOptions approx;
+      approx.solver = SolverKind::kApprox;
+      approx.epsilon = epsilon;
+      char label[32];
+      std::snprintf(label, sizeof(label), "eps:%.2f", epsilon);
+      add(label, approx);
+    }
+  }
+}
+
+inline void RegisterUnconstrainedFigure(const UnconstrainedFig& fig) {
+  for (const StandIn dataset : AllStandIns()) {
+    if (fig.axis == UnconstrainedAxis::kVaryK) {
+      for (const VertexId k : UnconstrainedKSweep(dataset)) {
+        RegisterUnconstrainedPoint(fig, dataset, k, 5);  // r = 5 default
+      }
+    } else {
+      const VertexId k = DefaultK(dataset);
+      for (const std::uint32_t r : RSweep()) {
+        RegisterUnconstrainedPoint(fig, dataset, k, r);
+      }
+    }
+  }
+}
+
+}  // namespace ticl::bench
+
+#endif  // TICL_BENCH_COMMON_UNCONSTRAINED_FIG_H_

@@ -1,0 +1,80 @@
+// Group recommendation — the paper's second motivating application (§I).
+//
+// A social-network user searches for cohesive groups of similar-interest
+// users to join. Interest similarity is the vertex weight; the influence
+// of a group is the AVERAGE similarity of its members (the paper argues
+// avg is the right aggregation here: a huge group of mildly similar users
+// should not beat a tight group of very similar ones). Group sizes are
+// bounded — nobody wants a 10,000-member "community".
+//
+// avg is NP-hard (paper Theorem 1), so this runs the paper's local search
+// heuristic, greedy vs random, and also shows the non-overlapping variant
+// that yields a diversified slate of suggestions.
+//
+// Run:  ./build/examples/group_recommendation
+
+#include <cstdio>
+
+#include "core/search.h"
+#include "core/verification.h"
+#include "gen/chung_lu.h"
+#include "util/rng.h"
+
+int main() {
+  // A 20k-user power-law social graph.
+  ticl::ChungLuOptions topology;
+  topology.num_vertices = 20000;
+  topology.target_average_degree = 12.0;
+  topology.gamma = 2.3;
+  topology.seed = 99;
+  ticl::Graph social = ticl::GenerateChungLu(topology);
+
+  // Interest similarity to the querying user in [0, 1): in a real system
+  // this comes from an embedding model; here it is synthetic but seeded.
+  {
+    ticl::Rng rng(1234);
+    std::vector<ticl::Weight> similarity(social.num_vertices());
+    for (auto& s : similarity) s = rng.NextDouble();
+    social.SetWeights(std::move(similarity));
+  }
+  std::printf("social graph: n=%u m=%llu\n", social.num_vertices(),
+              static_cast<unsigned long long>(social.num_edges()));
+
+  // "Suggest 5 groups of at most 12 users, each user having >= 4 friends
+  // inside the group, maximizing average similarity."
+  ticl::Query query;
+  query.k = 4;
+  query.r = 5;
+  query.size_limit = 12;
+  query.aggregation = ticl::AggregationSpec::Avg();
+
+  for (const auto solver :
+       {ticl::SolverKind::kLocalGreedy, ticl::SolverKind::kLocalRandom}) {
+    ticl::SolveOptions options;
+    options.solver = solver;
+    const ticl::SearchResult result = ticl::Solve(social, query, options);
+    std::printf("\n%s (%s): %.2f ms, %llu seeds\n",
+                ticl::QueryToString(query).c_str(),
+                ticl::SolverKindName(solver).c_str(),
+                result.stats.elapsed_seconds * 1e3,
+                static_cast<unsigned long long>(
+                    result.stats.seeds_processed));
+    for (std::size_t i = 0; i < result.communities.size(); ++i) {
+      std::printf("  suggestion %zu: %s\n", i + 1,
+                  ticl::CommunityToString(result.communities[i], 6).c_str());
+    }
+  }
+
+  // Diversified slate: disjoint groups so each suggestion is genuinely new
+  // (Problem 2, TONIC).
+  query.non_overlapping = true;
+  const ticl::SearchResult slate = ticl::Solve(social, query);
+  std::printf("\nnon-overlapping slate:\n");
+  for (std::size_t i = 0; i < slate.communities.size(); ++i) {
+    std::printf("  suggestion %zu: %s\n", i + 1,
+                ticl::CommunityToString(slate.communities[i], 6).c_str());
+  }
+  const std::string problem = ticl::ValidateResult(social, query, slate);
+  std::printf("validation: %s\n", problem.empty() ? "OK" : problem.c_str());
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Influential research-group identification — the paper's case study
+// (§VI.C, Fig. 14) on a synthetic Aminer-like co-authorship network.
+//
+// Five research fields, dense research groups, citation-metric weights.
+// We extract the top-3 NON-OVERLAPPING 4-influential communities under
+// min, avg and sum and print the member researchers, mirroring Fig. 14's
+// nine panels. The qualitative story reproduces the paper's:
+//   * min  surfaces groups whose *weakest* member is still strong,
+//   * avg  surfaces small elite senior clusters,
+//   * sum  surfaces large productive groups with more diversity.
+//
+// Run:  ./build/examples/research_groups
+
+#include <cstdio>
+
+#include "core/search.h"
+#include "core/verification.h"
+#include "gen/coauthor_network.h"
+
+namespace {
+
+void PrintCommunity(const ticl::CoauthorNetwork& net,
+                    const ticl::Community& community, std::size_t rank) {
+  std::printf("    top-%zu (f = %.3f, %zu researchers):\n", rank,
+              community.influence, community.members.size());
+  for (const ticl::VertexId v : community.members) {
+    std::printf("      %-22s  %-20s w=%.0f\n", net.names[v].c_str(),
+                net.field_names[net.field[v]].c_str(), net.graph.weight(v));
+  }
+}
+
+}  // namespace
+
+int main() {
+  // The paper's Aminer dump is not redistributable; this generator plants
+  // the same recoverable structure (see DESIGN.md §4).
+  ticl::CoauthorNetworkOptions options;
+  options.num_fields = 5;
+  options.groups_per_field = 8;
+  options.metric = ticl::CitationMetric::kHIndex;
+  options.seed = 2022;
+  const ticl::CoauthorNetwork net = ticl::GenerateCoauthorNetwork(options);
+  std::printf("co-authorship network: %u researchers, %llu collaborations, "
+              "%zu planted groups\n",
+              net.graph.num_vertices(),
+              static_cast<unsigned long long>(net.graph.num_edges()),
+              net.group_members.size());
+
+  const ticl::AggregationSpec specs[] = {ticl::AggregationSpec::Min(),
+                                         ticl::AggregationSpec::Avg(),
+                                         ticl::AggregationSpec::Sum()};
+  for (const ticl::AggregationSpec& spec : specs) {
+    ticl::Query query;
+    query.k = 4;  // the case study's degree bound
+    query.r = 3;
+    query.non_overlapping = true;
+    query.aggregation = spec;
+    // min has an exact polynomial solver; avg and sum (size-constrained to
+    // group scale) go through the paper's local search heuristic.
+    if (spec.kind != ticl::Aggregation::kMin) query.size_limit = 12;
+
+    const ticl::SearchResult result = ticl::Solve(net.graph, query);
+    std::printf("\n== f = %s ==\n",
+                ticl::AggregationName(spec.kind).c_str());
+    for (std::size_t i = 0; i < result.communities.size(); ++i) {
+      PrintCommunity(net, result.communities[i], i + 1);
+    }
+    const std::string problem =
+        ticl::ValidateResult(net.graph, query, result);
+    if (!problem.empty()) {
+      std::printf("  VALIDATION FAILED: %s\n", problem.c_str());
+      return 1;
+    }
+  }
+  std::printf("\nall results validated (connected k-cores, disjoint)\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// k-core machinery: full core decomposition (Batagelj–Zaveršnik bucket
+// peel), maximal k-core extraction, and the k-core connected components that
+// seed every top-r solver.
+
+#ifndef TICL_ALGO_CORE_DECOMPOSITION_H_
+#define TICL_ALGO_CORE_DECOMPOSITION_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ticl {
+
+/// Result of a full core decomposition.
+struct CoreDecompositionResult {
+  /// core[v] = largest k such that v belongs to a k-core.
+  std::vector<VertexId> core;
+  /// Degeneracy of the graph: max over core[] (the paper's k_max).
+  VertexId degeneracy = 0;
+};
+
+/// O(n + m) bucket-peeling core decomposition.
+CoreDecompositionResult CoreDecomposition(const Graph& g);
+
+/// Reference implementation that repeatedly scans for a minimum-degree
+/// vertex (O(n^2 + m) worst case). Exists to cross-check the bucket peel in
+/// tests and to quantify its benefit in bench_ablation_peel.
+CoreDecompositionResult CoreDecompositionNaive(const Graph& g);
+
+/// Vertices of the maximal k-core (sorted ascending; empty if none).
+VertexList MaximalKCore(const Graph& g, VertexId k);
+
+/// Connected components of the maximal k-core, each sorted ascending.
+/// These are the disjoint communities L_0 of Algorithms 1, 2 and 4.
+std::vector<VertexList> KCoreComponents(const Graph& g, VertexId k);
+
+}  // namespace ticl
+
+#endif  // TICL_ALGO_CORE_DECOMPOSITION_H_

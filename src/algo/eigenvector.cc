@@ -1,0 +1,53 @@
+#include "algo/eigenvector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ticl {
+
+EigenvectorResult ComputeEigenvectorCentrality(
+    const Graph& g, const EigenvectorOptions& options) {
+  TICL_CHECK(options.max_iterations >= 1);
+  const VertexId n = g.num_vertices();
+  EigenvectorResult out;
+  out.scores.assign(n, 0.0);
+  if (n == 0 || g.num_edges() == 0) return out;
+
+  std::vector<double> x(n, 1.0 / std::sqrt(static_cast<double>(n)));
+  std::vector<double> next(n, 0.0);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    // next = (A + I) * x. The identity shift keeps the same eigenvectors
+    // but breaks the +/-lambda symmetry of bipartite graphs (e.g. stars),
+    // where plain power iteration oscillates forever.
+    for (VertexId v = 0; v < n; ++v) {
+      double acc = x[v];
+      for (const VertexId nbr : g.neighbors(v)) acc += x[nbr];
+      next[v] = acc;
+    }
+    double norm = 0.0;
+    for (const double value : next) norm += value * value;
+    norm = std::sqrt(norm);
+    if (norm == 0.0) break;     // degenerate (cannot happen with edges)
+    out.eigenvalue = norm - 1;  // undo the +I shift in the estimate
+    double delta = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      next[v] /= norm;
+      const double diff = next[v] - x[v];
+      delta += diff * diff;
+    }
+    x.swap(next);
+    out.iterations = iter + 1;
+    if (std::sqrt(delta) < options.tolerance) break;
+  }
+
+  const double max_score = *std::max_element(x.begin(), x.end());
+  if (max_score > 0.0) {
+    for (double& value : x) value = std::max(0.0, value / max_score);
+  }
+  out.scores = std::move(x);
+  return out;
+}
+
+}  // namespace ticl

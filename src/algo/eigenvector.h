@@ -1,0 +1,37 @@
+// Eigenvector centrality by power iteration — another structural weight
+// scheme for the influential community model (the paper's §I lists
+// PageRank, Closeness, Degree, Betweenness as candidate weights; this adds
+// the classic spectral one).
+
+#ifndef TICL_ALGO_EIGENVECTOR_H_
+#define TICL_ALGO_EIGENVECTOR_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ticl {
+
+struct EigenvectorOptions {
+  int max_iterations = 200;
+  /// L2 convergence threshold between successive normalized iterates.
+  double tolerance = 1e-12;
+};
+
+struct EigenvectorResult {
+  /// Non-negative scores, normalized to unit maximum (all-zero for an
+  /// edgeless graph).
+  std::vector<double> scores;
+  int iterations = 0;
+  /// Rayleigh-quotient estimate of the dominant eigenvalue.
+  double eigenvalue = 0.0;
+};
+
+/// Principal eigenvector of the adjacency matrix (Perron–Frobenius vector
+/// of the largest connected structure). Isolated vertices score 0.
+EigenvectorResult ComputeEigenvectorCentrality(
+    const Graph& g, const EigenvectorOptions& options = {});
+
+}  // namespace ticl
+
+#endif  // TICL_ALGO_EIGENVECTOR_H_

@@ -1,0 +1,48 @@
+#include "algo/pagerank.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ticl {
+
+PageRankResult ComputePageRank(const Graph& g,
+                               const PageRankOptions& options) {
+  TICL_CHECK(options.damping >= 0.0 && options.damping < 1.0);
+  TICL_CHECK(options.max_iterations >= 1);
+  const VertexId n = g.num_vertices();
+  PageRankResult out;
+  if (n == 0) return out;
+
+  const double inv_n = 1.0 / static_cast<double>(n);
+  std::vector<double> rank(n, inv_n);
+  std::vector<double> next(n, 0.0);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double dangling_mass = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (g.degree(v) == 0) dangling_mass += rank[v];
+    }
+    const double base =
+        (1.0 - options.damping) * inv_n +
+        options.damping * dangling_mass * inv_n;
+    for (VertexId v = 0; v < n; ++v) next[v] = base;
+    for (VertexId v = 0; v < n; ++v) {
+      const VertexId deg = g.degree(v);
+      if (deg == 0) continue;
+      const double share =
+          options.damping * rank[v] / static_cast<double>(deg);
+      for (const VertexId nbr : g.neighbors(v)) next[nbr] += share;
+    }
+    double delta = 0.0;
+    for (VertexId v = 0; v < n; ++v) delta += std::fabs(next[v] - rank[v]);
+    rank.swap(next);
+    out.iterations = iter + 1;
+    out.final_delta = delta;
+    if (delta < options.tolerance) break;
+  }
+  out.scores = std::move(rank);
+  return out;
+}
+
+}  // namespace ticl

@@ -1,0 +1,210 @@
+#include "algo/truss_decomposition.h"
+
+#include <algorithm>
+
+#include "algo/union_find.h"
+#include "util/check.h"
+
+namespace ticl {
+
+namespace {
+
+/// Index of value `v` inside the sorted neighbour list of `u`, or npos.
+std::size_t NeighborPosition(const Graph& g, VertexId u, VertexId v) {
+  const auto nbrs = g.neighbors(u);
+  const auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return static_cast<std::size_t>(-1);
+  return static_cast<std::size_t>(g.offsets()[u] +
+                                  static_cast<EdgeIndex>(it - nbrs.begin()));
+}
+
+}  // namespace
+
+TrussDecompositionResult TrussDecomposition(const Graph& g) {
+  TrussDecompositionResult out;
+  const VertexId n = g.num_vertices();
+  const std::size_t m = static_cast<std::size_t>(g.num_edges());
+  out.edges.reserve(m);
+  out.truss.assign(m, 2);
+  if (m == 0) return out;
+
+  // Canonical edge ids: every directed CSR position maps to the undirected
+  // edge id. Ids are assigned in lexicographic (u < v) order.
+  std::vector<std::uint32_t> pos_to_eid(g.adjacency().size(), 0);
+  for (VertexId u = 0; u < n; ++u) {
+    for (EdgeIndex p = g.offsets()[u]; p < g.offsets()[u + 1]; ++p) {
+      const VertexId v = g.adjacency()[p];
+      if (u < v) {
+        pos_to_eid[p] = static_cast<std::uint32_t>(out.edges.size());
+        out.edges.push_back(Edge{u, v});
+      } else {
+        // The mirror direction was assigned while iterating v < u.
+        const std::size_t q = NeighborPosition(g, v, u);
+        pos_to_eid[p] = pos_to_eid[q];
+      }
+    }
+  }
+
+  const auto edge_id = [&](VertexId a, VertexId b) -> std::uint32_t {
+    // Search from the lower-degree endpoint.
+    if (g.degree(a) > g.degree(b)) std::swap(a, b);
+    return pos_to_eid[NeighborPosition(g, a, b)];
+  };
+
+  // Triangle supports: iterate the smaller endpoint adjacency, test
+  // membership in the larger via binary search.
+  std::vector<VertexId> support(m, 0);
+  VertexId max_support = 0;
+  for (std::uint32_t e = 0; e < m; ++e) {
+    VertexId a = out.edges[e].u;
+    VertexId b = out.edges[e].v;
+    if (g.degree(a) > g.degree(b)) std::swap(a, b);
+    VertexId count = 0;
+    for (const VertexId w : g.neighbors(a)) {
+      if (w == b) continue;
+      if (g.HasEdge(b, w)) ++count;
+    }
+    support[e] = count;
+    max_support = std::max(max_support, count);
+  }
+
+  // Bucket peel over edges by support (mirror of the core decomposition).
+  std::vector<std::uint32_t> bin(static_cast<std::size_t>(max_support) + 2,
+                                 0);
+  for (std::uint32_t e = 0; e < m; ++e) ++bin[support[e]];
+  std::uint32_t start = 0;
+  for (VertexId s = 0; s <= max_support; ++s) {
+    const std::uint32_t count = bin[s];
+    bin[s] = start;
+    start += count;
+  }
+  std::vector<std::uint32_t> order(m);
+  std::vector<std::uint32_t> pos(m);
+  for (std::uint32_t e = 0; e < m; ++e) {
+    pos[e] = bin[support[e]];
+    order[pos[e]] = e;
+    ++bin[support[e]];
+  }
+  for (VertexId s = max_support; s >= 1; --s) bin[s] = bin[s - 1];
+  bin[0] = 0;
+
+  std::vector<std::uint8_t> alive(m, 1);
+  const auto lower_support = [&](std::uint32_t e, VertexId floor_value) {
+    if (support[e] <= floor_value) return;
+    const VertexId s = support[e];
+    const std::uint32_t pe = pos[e];
+    const std::uint32_t pw = bin[s];
+    const std::uint32_t w = order[pw];
+    if (e != w) {
+      std::swap(order[pe], order[pw]);
+      pos[e] = pw;
+      pos[w] = pe;
+    }
+    ++bin[s];
+    --support[e];
+  };
+
+  for (std::uint32_t i = 0; i < m; ++i) {
+    const std::uint32_t e = order[i];
+    const VertexId s = support[e];
+    out.truss[e] = s + 2;
+    out.max_truss = std::max<VertexId>(out.max_truss, s + 2);
+    alive[e] = 0;
+    // Every still-alive triangle through e loses this edge: decrement the
+    // two partner edges (never below s, to keep the peel order intact).
+    VertexId a = out.edges[e].u;
+    VertexId b = out.edges[e].v;
+    if (g.degree(a) > g.degree(b)) std::swap(a, b);
+    for (const VertexId w : g.neighbors(a)) {
+      if (w == b) continue;
+      if (!g.HasEdge(b, w)) continue;
+      const std::uint32_t e1 = edge_id(a, w);
+      const std::uint32_t e2 = edge_id(b, w);
+      if (!alive[e1] || !alive[e2]) continue;
+      lower_support(e1, s);
+      lower_support(e2, s);
+    }
+  }
+  return out;
+}
+
+VertexList MaximalKTruss(const Graph& g, VertexId k) {
+  TICL_CHECK(k >= 2);
+  const TrussDecompositionResult decomp = TrussDecomposition(g);
+  std::vector<std::uint8_t> in_truss(g.num_vertices(), 0);
+  for (std::size_t e = 0; e < decomp.edges.size(); ++e) {
+    if (decomp.truss[e] >= k) {
+      in_truss[decomp.edges[e].u] = 1;
+      in_truss[decomp.edges[e].v] = 1;
+    }
+  }
+  VertexList members;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (in_truss[v]) members.push_back(v);
+  }
+  return members;
+}
+
+std::vector<VertexList> KTrussComponents(const Graph& g, VertexId k) {
+  TICL_CHECK(k >= 2);
+  const TrussDecompositionResult decomp = TrussDecomposition(g);
+  UnionFind uf(g.num_vertices());
+  std::vector<std::uint8_t> in_truss(g.num_vertices(), 0);
+  for (std::size_t e = 0; e < decomp.edges.size(); ++e) {
+    if (decomp.truss[e] >= k) {
+      uf.Union(decomp.edges[e].u, decomp.edges[e].v);
+      in_truss[decomp.edges[e].u] = 1;
+      in_truss[decomp.edges[e].v] = 1;
+    }
+  }
+  // Group members by representative.
+  std::vector<std::pair<VertexId, VertexId>> rep_vertex;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (in_truss[v]) rep_vertex.emplace_back(uf.Find(v), v);
+  }
+  std::sort(rep_vertex.begin(), rep_vertex.end());
+  std::vector<VertexList> components;
+  for (std::size_t i = 0; i < rep_vertex.size();) {
+    VertexList component;
+    const VertexId rep = rep_vertex[i].first;
+    while (i < rep_vertex.size() && rep_vertex[i].first == rep) {
+      component.push_back(rep_vertex[i].second);
+      ++i;
+    }
+    components.push_back(std::move(component));
+  }
+  return components;
+}
+
+std::string ValidateKTrussSubgraph(const Graph& g, const VertexList& members,
+                                   VertexId k) {
+  if (members.size() < 2) return "a k-truss community needs an edge";
+  if (!std::is_sorted(members.begin(), members.end())) {
+    return "members not sorted";
+  }
+  const InducedSubgraph sub = ExtractInducedSubgraph(g, members);
+  const TrussDecompositionResult decomp = TrussDecomposition(sub.graph);
+  UnionFind uf(sub.graph.num_vertices());
+  std::vector<std::uint8_t> covered(sub.graph.num_vertices(), 0);
+  for (std::size_t e = 0; e < decomp.edges.size(); ++e) {
+    if (decomp.truss[e] >= k) {
+      uf.Union(decomp.edges[e].u, decomp.edges[e].v);
+      covered[decomp.edges[e].u] = 1;
+      covered[decomp.edges[e].v] = 1;
+    }
+  }
+  for (VertexId lv = 0; lv < sub.graph.num_vertices(); ++lv) {
+    if (!covered[lv]) {
+      return "vertex " + std::to_string(sub.to_original[lv]) +
+             " is not on any induced truss-" + std::to_string(k) + " edge";
+    }
+  }
+  for (VertexId lv = 1; lv < sub.graph.num_vertices(); ++lv) {
+    if (!uf.Connected(0, lv)) {
+      return "not connected via truss edges";
+    }
+  }
+  return "";
+}
+
+}  // namespace ticl

@@ -1,0 +1,55 @@
+// k-truss machinery. The paper (§I, §VII) notes that the influential
+// community model extends beyond k-core to other cohesiveness metrics,
+// k-truss in particular [Cohen 2008]; this module provides that substrate.
+//
+// A k-truss is a subgraph in which every edge participates in at least
+// k - 2 triangles (within the subgraph). Truss numbers are computed by the
+// standard support-peeling algorithm: count per-edge triangle supports,
+// then repeatedly peel the minimum-support edge, decrementing the supports
+// of the edges it formed triangles with.
+
+#ifndef TICL_ALGO_TRUSS_DECOMPOSITION_H_
+#define TICL_ALGO_TRUSS_DECOMPOSITION_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ticl {
+
+struct TrussDecompositionResult {
+  /// Canonical undirected edge array (u < v), sorted lexicographically —
+  /// the index into this array is the edge id used below.
+  std::vector<Edge> edges;
+  /// truss[e] = largest k such that edge e belongs to a k-truss (>= 2).
+  std::vector<VertexId> truss;
+  /// Maximum truss number over all edges (2 for a triangle-free graph with
+  /// edges; 0 for an edgeless graph).
+  VertexId max_truss = 0;
+};
+
+/// Support-peeling truss decomposition. O(m^1.5) triangle counting plus
+/// near-linear peeling.
+TrussDecompositionResult TrussDecomposition(const Graph& g);
+
+/// Vertices incident to at least one edge of truss number >= k (sorted).
+/// k must be >= 2.
+VertexList MaximalKTruss(const Graph& g, VertexId k);
+
+/// Connected components of the maximal k-truss, connected *via truss
+/// edges* (two vertices in the same component iff joined by a path of
+/// edges with truss >= k). Each component sorted ascending.
+std::vector<VertexList> KTrussComponents(const Graph& g, VertexId k);
+
+/// Validation helper: "" if the subgraph induced by `members` is a
+/// connected k-truss (every induced edge in >= k - 2 induced triangles,
+/// every member incident to at least one induced edge, connected);
+/// otherwise a diagnostic. Singleton sets are rejected (a truss community
+/// needs an edge).
+std::string ValidateKTrussSubgraph(const Graph& g, const VertexList& members,
+                                   VertexId k);
+
+}  // namespace ticl
+
+#endif  // TICL_ALGO_TRUSS_DECOMPOSITION_H_

@@ -1,0 +1,61 @@
+// Disjoint-set union with union-by-size and path halving.
+
+#ifndef TICL_ALGO_UNION_FIND_H_
+#define TICL_ALGO_UNION_FIND_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace ticl {
+
+class UnionFind {
+ public:
+  explicit UnionFind(VertexId n) : parent_(n), size_(n, 1), num_sets_(n) {
+    std::iota(parent_.begin(), parent_.end(), VertexId{0});
+  }
+
+  /// Representative of x's set.
+  VertexId Find(VertexId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Merges the sets containing a and b; returns true if they were distinct.
+  bool Union(VertexId a, VertexId b) {
+    VertexId ra = Find(a);
+    VertexId rb = Find(b);
+    if (ra == rb) return false;
+    if (size_[ra] < size_[rb]) {
+      const VertexId tmp = ra;
+      ra = rb;
+      rb = tmp;
+    }
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    --num_sets_;
+    return true;
+  }
+
+  bool Connected(VertexId a, VertexId b) { return Find(a) == Find(b); }
+
+  /// Size of the set containing x.
+  VertexId SetSize(VertexId x) { return size_[Find(x)]; }
+
+  /// Current number of disjoint sets.
+  VertexId num_sets() const { return num_sets_; }
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<VertexId> size_;
+  VertexId num_sets_;
+};
+
+}  // namespace ticl
+
+#endif  // TICL_ALGO_UNION_FIND_H_

@@ -1,0 +1,79 @@
+#include "algo/weights.h"
+
+#include <cmath>
+#include <vector>
+
+#include "algo/core_decomposition.h"
+#include "algo/eigenvector.h"
+#include "algo/pagerank.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ticl {
+
+std::string WeightSchemeName(WeightScheme scheme) {
+  switch (scheme) {
+    case WeightScheme::kPageRank:
+      return "pagerank";
+    case WeightScheme::kDegree:
+      return "degree";
+    case WeightScheme::kUniform:
+      return "uniform";
+    case WeightScheme::kLogNormal:
+      return "lognormal";
+    case WeightScheme::kEigenvector:
+      return "eigenvector";
+    case WeightScheme::kCoreNumber:
+      return "core-number";
+  }
+  TICL_CHECK_MSG(false, "unknown weight scheme");
+  return "";
+}
+
+void AssignWeights(Graph* g, WeightScheme scheme, std::uint64_t seed) {
+  const VertexId n = g->num_vertices();
+  std::vector<Weight> weights(n, 0.0);
+  switch (scheme) {
+    case WeightScheme::kPageRank: {
+      weights = ComputePageRank(*g).scores;
+      break;
+    }
+    case WeightScheme::kDegree: {
+      const double max_deg =
+          g->max_degree() > 0 ? static_cast<double>(g->max_degree()) : 1.0;
+      for (VertexId v = 0; v < n; ++v) {
+        weights[v] = static_cast<double>(g->degree(v)) / max_deg;
+      }
+      break;
+    }
+    case WeightScheme::kUniform: {
+      Rng rng(seed);
+      for (VertexId v = 0; v < n; ++v) weights[v] = rng.NextDouble();
+      break;
+    }
+    case WeightScheme::kLogNormal: {
+      Rng rng(seed);
+      for (VertexId v = 0; v < n; ++v) {
+        weights[v] = std::exp(rng.NextGaussian());
+      }
+      break;
+    }
+    case WeightScheme::kEigenvector: {
+      weights = ComputeEigenvectorCentrality(*g).scores;
+      break;
+    }
+    case WeightScheme::kCoreNumber: {
+      const CoreDecompositionResult decomp = CoreDecomposition(*g);
+      const double denom =
+          decomp.degeneracy > 0 ? static_cast<double>(decomp.degeneracy)
+                                : 1.0;
+      for (VertexId v = 0; v < n; ++v) {
+        weights[v] = static_cast<double>(decomp.core[v]) / denom;
+      }
+      break;
+    }
+  }
+  g->SetWeights(std::move(weights));
+}
+
+}  // namespace ticl

@@ -1,0 +1,39 @@
+// Vertex-weight assignment schemes. The paper's evaluation uses PageRank
+// weights; the model itself admits any non-negative per-vertex score
+// (H-index, income, centralities — §I), so the library ships several.
+
+#ifndef TICL_ALGO_WEIGHTS_H_
+#define TICL_ALGO_WEIGHTS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace ticl {
+
+enum class WeightScheme {
+  /// PageRank scores, damping 0.85 (the paper's setting).
+  kPageRank,
+  /// Degree / max-degree, a cheap structural centrality.
+  kDegree,
+  /// i.i.d. uniform in [0, 1).
+  kUniform,
+  /// i.i.d. log-normal (mu = 0, sigma = 1): heavy-tailed, H-index-like.
+  kLogNormal,
+  /// Eigenvector centrality (unit-max normalized).
+  kEigenvector,
+  /// Core number / degeneracy: rewards membership in deep cores.
+  kCoreNumber,
+};
+
+/// Human-readable name ("pagerank", "degree", ...).
+std::string WeightSchemeName(WeightScheme scheme);
+
+/// Computes and installs weights on `g`. `seed` feeds the random schemes
+/// (ignored by the deterministic ones).
+void AssignWeights(Graph* g, WeightScheme scheme, std::uint64_t seed = 0);
+
+}  // namespace ticl
+
+#endif  // TICL_ALGO_WEIGHTS_H_

@@ -1,0 +1,40 @@
+// The community value type returned by every solver.
+
+#ifndef TICL_CORE_COMMUNITY_H_
+#define TICL_CORE_COMMUNITY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/aggregation.h"
+#include "graph/graph.h"
+
+namespace ticl {
+
+/// A candidate or result community: its members (sorted ascending), its
+/// influence value under the query's aggregation function, and an
+/// order-independent hash of the member set used for deduplication and
+/// deterministic tie-breaking.
+struct Community {
+  VertexList members;
+  double influence = 0.0;
+  std::uint64_t hash = 0;
+
+  std::size_t size() const { return members.size(); }
+};
+
+/// Builds a Community from a member list (sorted in place if needed),
+/// evaluating `spec` on `g`'s weights.
+Community MakeCommunity(const Graph& g, VertexList members,
+                        const AggregationSpec& spec);
+
+/// True if the two communities share at least one vertex (members sorted).
+bool CommunitiesOverlap(const Community& a, const Community& b);
+
+/// Debug string: "{v0, v1, ...} f=<influence>". Caps listed members at
+/// `max_members` (0 = all).
+std::string CommunityToString(const Community& c, std::size_t max_members = 0);
+
+}  // namespace ticl
+
+#endif  // TICL_CORE_COMMUNITY_H_

@@ -1,0 +1,205 @@
+#include "core/minmax_search.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "algo/core_decomposition.h"
+#include "algo/kcore_peeler.h"
+#include "util/check.h"
+#include "util/timing.h"
+#include "util/top_r_list.h"
+
+namespace ticl {
+
+namespace {
+
+/// Replays the min-weight peel over `members` (must induce a k-core, i.e.
+/// already peeled). Invokes `snapshot(step, u)` before deleting each
+/// minimum vertex u; the callback may inspect `alive` to materialize u's
+/// component. Returns the number of snapshot steps.
+class MinPeelDriver {
+ public:
+  MinPeelDriver(const Graph& g, const VertexList& members, VertexId k)
+      : g_(&g), members_(members), k_(k) {}
+
+  using SnapshotFn =
+      std::function<void(std::size_t step, VertexId u,
+                         const std::vector<std::uint8_t>& alive)>;
+
+  std::size_t Run(const SnapshotFn& snapshot) {
+    const VertexId n = g_->num_vertices();
+    std::vector<std::uint8_t> alive(n, 0);
+    std::vector<VertexId> deg(n, 0);
+    for (const VertexId v : members_) alive[v] = 1;
+    for (const VertexId v : members_) {
+      VertexId d = 0;
+      for (const VertexId nbr : g_->neighbors(v)) {
+        if (alive[nbr]) ++d;
+      }
+      deg[v] = d;
+      TICL_CHECK_MSG(d >= k_, "MinPeelDriver requires a peeled member set");
+    }
+
+    // Deletion candidates in (weight, id) order; dead entries skipped.
+    VertexList order = members_;
+    std::sort(order.begin(), order.end(), [this](VertexId a, VertexId b) {
+      if (g_->weight(a) != g_->weight(b)) {
+        return g_->weight(a) < g_->weight(b);
+      }
+      return a < b;
+    });
+
+    std::vector<VertexId> cascade;
+    std::size_t step = 0;
+    std::size_t cursor = 0;
+    for (;;) {
+      while (cursor < order.size() && !alive[order[cursor]]) ++cursor;
+      if (cursor == order.size()) break;
+      const VertexId u = order[cursor];
+      if (snapshot) snapshot(step, u, alive);
+      ++step;
+      // Delete u, then cascade-peel vertices that drop below degree k.
+      cascade.clear();
+      cascade.push_back(u);
+      while (!cascade.empty()) {
+        const VertexId v = cascade.back();
+        cascade.pop_back();
+        if (!alive[v]) continue;
+        alive[v] = 0;
+        for (const VertexId nbr : g_->neighbors(v)) {
+          if (!alive[nbr]) continue;
+          --deg[nbr];
+          if (deg[nbr] < k_) cascade.push_back(nbr);
+        }
+      }
+    }
+    return step;
+  }
+
+ private:
+  const Graph* g_;
+  const VertexList& members_;
+  VertexId k_;
+};
+
+/// Component of `u` among alive vertices, sorted.
+VertexList AliveComponent(const Graph& g, VertexId u,
+                          const std::vector<std::uint8_t>& alive) {
+  VertexList component;
+  std::vector<VertexId> stack{u};
+  std::vector<std::uint8_t> visited(g.num_vertices(), 0);
+  visited[u] = 1;
+  while (!stack.empty()) {
+    const VertexId v = stack.back();
+    stack.pop_back();
+    component.push_back(v);
+    for (const VertexId nbr : g.neighbors(v)) {
+      if (alive[nbr] && !visited[nbr]) {
+        visited[nbr] = 1;
+        stack.push_back(nbr);
+      }
+    }
+  }
+  std::sort(component.begin(), component.end());
+  return component;
+}
+
+/// Top-r (possibly nested) min communities within one already-peeled member
+/// set, appended to `out` via two peel passes.
+void MinTopRWithin(const Graph& g, const VertexList& members,
+                   const Query& query, std::uint32_t want,
+                   std::vector<Community>* out, SearchStats* stats) {
+  if (members.empty()) return;
+  MinPeelDriver counter(g, members, query.k);
+  const std::size_t total_steps = counter.Run(nullptr);
+  ++stats->peel_operations;
+  if (total_steps == 0) return;
+
+  const std::size_t first_wanted =
+      total_steps > want ? total_steps - want : 0;
+  MinPeelDriver replayer(g, members, query.k);
+  replayer.Run([&](std::size_t step, VertexId u,
+                   const std::vector<std::uint8_t>& alive) {
+    if (step < first_wanted) return;
+    Community c = MakeCommunity(g, AliveComponent(g, u, alive),
+                                query.aggregation);
+    ++stats->candidates_generated;
+    out->push_back(std::move(c));
+  });
+  ++stats->peel_operations;
+}
+
+}  // namespace
+
+SearchResult MinPeelSearch(const Graph& g, const Query& query) {
+  TICL_CHECK_MSG(ValidateQuery(query, g).empty(), "invalid query");
+  TICL_CHECK_MSG(query.aggregation.kind == Aggregation::kMin,
+                 "MinPeelSearch is the f = min solver");
+  TICL_CHECK_MSG(!query.size_constrained(),
+                 "size-constrained min is NP-hard; use LocalSearch");
+  WallTimer timer;
+  SearchResult result;
+
+  VertexList core = MaximalKCore(g, query.k);
+  if (!query.non_overlapping) {
+    std::vector<Community> found;
+    MinTopRWithin(g, core, query, query.r, &found, &result.stats);
+    std::sort(found.begin(), found.end(),
+              [](const Community& a, const Community& b) {
+                return TopRList<int>::Better(a.influence, a.hash, b.influence,
+                                             b.hash);
+              });
+    if (found.size() > query.r) found.resize(query.r);
+    result.communities = std::move(found);
+  } else {
+    // Greedy TONIC: top-1, remove its vertices, re-peel, repeat.
+    SubsetPeeler peeler(g);
+    for (std::uint32_t round = 0; round < query.r && !core.empty();
+         ++round) {
+      std::vector<Community> best;
+      MinTopRWithin(g, core, query, 1, &best, &result.stats);
+      if (best.empty()) break;
+      Community chosen = std::move(best.front());
+      VertexList remaining;
+      std::set_difference(core.begin(), core.end(), chosen.members.begin(),
+                          chosen.members.end(),
+                          std::back_inserter(remaining));
+      core = peeler.Peel(remaining, query.k);
+      ++result.stats.peel_operations;
+      result.communities.push_back(std::move(chosen));
+    }
+    std::sort(result.communities.begin(), result.communities.end(),
+              [](const Community& a, const Community& b) {
+                return TopRList<int>::Better(a.influence, a.hash, b.influence,
+                                             b.hash);
+              });
+  }
+
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+SearchResult MaxComponentsSearch(const Graph& g, const Query& query) {
+  TICL_CHECK_MSG(ValidateQuery(query, g).empty(), "invalid query");
+  TICL_CHECK_MSG(query.aggregation.kind == Aggregation::kMax,
+                 "MaxComponentsSearch is the f = max solver");
+  TICL_CHECK_MSG(!query.size_constrained(),
+                 "size-constrained max is NP-hard; use LocalSearch");
+  WallTimer timer;
+  SearchResult result;
+  TopRList<Community> top(query.r);
+  for (VertexList& component : KCoreComponents(g, query.k)) {
+    Community c = MakeCommunity(g, std::move(component), query.aggregation);
+    ++result.stats.candidates_generated;
+    const double influence = c.influence;
+    const std::uint64_t hash = c.hash;
+    top.Insert(influence, hash, std::move(c));
+  }
+  for (auto& entry : top.TakeSortedDescending()) {
+    result.communities.push_back(std::move(entry.value));
+  }
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ticl

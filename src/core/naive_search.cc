@@ -1,0 +1,104 @@
+#include "core/naive_search.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "algo/core_decomposition.h"
+#include "algo/kcore_peeler.h"
+#include "core/verification.h"
+#include "util/check.h"
+#include "util/timing.h"
+#include "util/top_r_list.h"
+
+namespace ticl {
+
+namespace {
+
+/// Shared by naive and improved search: the disjoint connected components of
+/// the maximal k-core are themselves maximal communities and dominate all of
+/// their subgraphs under monotone f, so for TONIC they are the answer.
+SearchResult TopRComponents(const Graph& g, const Query& query) {
+  WallTimer timer;
+  SearchResult result;
+  TopRList<Community> top(query.r);
+  for (VertexList& component : KCoreComponents(g, query.k)) {
+    Community c =
+        MakeCommunity(g, std::move(component), query.aggregation);
+    ++result.stats.candidates_generated;
+    const double influence = c.influence;
+    const std::uint64_t hash = c.hash;
+    top.Insert(influence, hash, std::move(c));
+  }
+  for (auto& entry : top.TakeSortedDescending()) {
+    result.communities.push_back(std::move(entry.value));
+  }
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace
+
+SearchResult NaiveSearch(const Graph& g, const Query& query) {
+  TICL_CHECK_MSG(ValidateQuery(query, g).empty(), "invalid query");
+  TICL_CHECK_MSG(!query.size_constrained(),
+                 "NaiveSearch solves the size-unconstrained problem only");
+  TICL_CHECK_MSG(IsMonotoneUnderRemoval(query.aggregation),
+                 "NaiveSearch requires a monotone aggregation (sum family)");
+  if (query.non_overlapping) return TopRComponents(g, query);
+
+  WallTimer timer;
+  SearchResult result;
+  SubsetPeeler peeler(g);
+  std::unordered_set<std::uint64_t> seen;
+
+  // Lines 1-2: L <- top-r components of the maximal k-core.
+  TopRList<Community> top(query.r);
+  for (VertexList& component : KCoreComponents(g, query.k)) {
+    Community c =
+        MakeCommunity(g, std::move(component), query.aggregation);
+    ++result.stats.candidates_generated;
+    seen.insert(c.hash);
+    const double influence = c.influence;
+    const std::uint64_t hash = c.hash;
+    top.Insert(influence, hash, std::move(c));
+  }
+
+  // Lines 3-10: scan every vertex, deleting it from each retained community
+  // that contains it.
+  const VertexId n = g.num_vertices();
+  std::vector<Community> batch;
+  for (VertexId vi = 0; vi < n; ++vi) {
+    batch.clear();
+    for (const auto& entry : top.entries()) {
+      const VertexList& members = entry.value.members;
+      if (!std::binary_search(members.begin(), members.end(), vi)) continue;
+      ++result.stats.peel_operations;
+      for (VertexList& child :
+           peeler.RemoveAndSplit(members, vi, query.k)) {
+        Community c =
+            MakeCommunity(g, std::move(child), query.aggregation);
+        if (!seen.insert(c.hash).second) {
+          ++result.stats.duplicates_skipped;
+          continue;
+        }
+        ++result.stats.candidates_generated;
+        batch.push_back(std::move(c));
+      }
+    }
+    for (Community& c : batch) {
+      const double influence = c.influence;
+      const std::uint64_t hash = c.hash;
+      if (!top.Insert(influence, hash, std::move(c))) {
+        ++result.stats.candidates_pruned;
+      }
+    }
+  }
+
+  for (auto& entry : top.TakeSortedDescending()) {
+    result.communities.push_back(std::move(entry.value));
+  }
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ticl

@@ -1,0 +1,27 @@
+// Algorithm 1 (paper §IV.A): the SUM-NA\"IVE top-r search for
+// size-unconstrained queries under monotone aggregation functions
+// (sum, sum-surplus).
+//
+// Literal implementation: seed the top-r list with the connected components
+// of the maximal k-core, then scan vertices v_1..v_n; deleting v_i from
+// every retained community containing it, cascade-peeling the remainder
+// back to a k-core, and folding the resulting components back into the
+// top-r list. Complexity O(n * r * (n + m)).
+
+#ifndef TICL_CORE_NAIVE_SEARCH_H_
+#define TICL_CORE_NAIVE_SEARCH_H_
+
+#include "core/query.h"
+#include "core/result.h"
+#include "graph/graph.h"
+
+namespace ticl {
+
+/// Preconditions (checked): valid query, size-unconstrained, monotone
+/// aggregation (IsMonotoneUnderRemoval). TONIC queries short-circuit to the
+/// top-r k-core components (paper §IV, "Non-overlapping").
+SearchResult NaiveSearch(const Graph& g, const Query& query);
+
+}  // namespace ticl
+
+#endif  // TICL_CORE_NAIVE_SEARCH_H_

@@ -1,0 +1,37 @@
+#include "core/query.h"
+
+#include <cstdio>
+
+namespace ticl {
+
+std::string ValidateQuery(const Query& query, const Graph& g) {
+  if (query.k < 1) return "degree constraint k must be >= 1";
+  if (query.r < 1) return "output size r must be >= 1";
+  if (query.size_constrained() && query.size_limit < query.k + 1) {
+    return "size limit s must be >= k + 1 (a k-core needs k + 1 vertices)";
+  }
+  if (!g.has_weights()) return "graph has no vertex weights assigned";
+  if (query.aggregation.kind == Aggregation::kSumSurplus &&
+      query.aggregation.alpha < 0.0) {
+    return "sum-surplus alpha must be >= 0 (monotonicity; use "
+           "weight-density for negative per-vertex surplus)";
+  }
+  return "";
+}
+
+std::string QueryToString(const Query& query) {
+  char buf[160];
+  if (query.size_constrained()) {
+    std::snprintf(buf, sizeof(buf), "%s k=%u r=%u s=%u f=%s",
+                  query.non_overlapping ? "TONIC" : "TIC", query.k, query.r,
+                  query.size_limit,
+                  AggregationName(query.aggregation.kind).c_str());
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s k=%u r=%u s=unbounded f=%s",
+                  query.non_overlapping ? "TONIC" : "TIC", query.k, query.r,
+                  AggregationName(query.aggregation.kind).c_str());
+  }
+  return buf;
+}
+
+}  // namespace ticl

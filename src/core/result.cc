@@ -1,0 +1,14 @@
+#include "core/result.h"
+
+#include <limits>
+
+namespace ticl {
+
+double SearchResult::InfluenceAt(std::size_t i) const {
+  if (i >= communities.size()) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return communities[i].influence;
+}
+
+}  // namespace ticl

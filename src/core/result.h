@@ -1,0 +1,44 @@
+// Solver output: ranked communities plus execution statistics.
+
+#ifndef TICL_CORE_RESULT_H_
+#define TICL_CORE_RESULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/community.h"
+
+namespace ticl {
+
+/// Counters filled in by the solvers; benches surface these alongside the
+/// wall-clock numbers.
+struct SearchStats {
+  double elapsed_seconds = 0.0;
+  /// Candidate communities materialized (after dedup).
+  std::uint64_t candidates_generated = 0;
+  /// Candidates rejected by the f(L_r) / lower-bound pruning rules.
+  std::uint64_t candidates_pruned = 0;
+  /// Cascade peel invocations (the RemoveAndSplit inner step).
+  std::uint64_t peel_operations = 0;
+  /// Duplicate candidates skipped by vertex-set-hash dedup.
+  std::uint64_t duplicates_skipped = 0;
+  /// Local search only: seeds expanded.
+  std::uint64_t seeds_processed = 0;
+  /// Improved search only: max heap size observed.
+  std::uint64_t peak_frontier = 0;
+};
+
+struct SearchResult {
+  /// Best-first: communities[0] is the top-1. At most r entries; fewer when
+  /// the graph does not contain r qualifying communities.
+  std::vector<Community> communities;
+  SearchStats stats;
+
+  /// Influence of the i-th (0-based) community, or -inf past the end —
+  /// convenient for "r-th influence value" effectiveness plots.
+  double InfluenceAt(std::size_t i) const;
+};
+
+}  // namespace ticl
+
+#endif  // TICL_CORE_RESULT_H_

@@ -1,0 +1,87 @@
+#include "core/search.h"
+
+#include "util/check.h"
+
+namespace ticl {
+
+std::string SolverKindName(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kAuto:
+      return "auto";
+    case SolverKind::kNaive:
+      return "naive";
+    case SolverKind::kImproved:
+      return "improved";
+    case SolverKind::kApprox:
+      return "approx";
+    case SolverKind::kExact:
+      return "exact";
+    case SolverKind::kLocalGreedy:
+      return "local-greedy";
+    case SolverKind::kLocalRandom:
+      return "local-random";
+    case SolverKind::kMinPeel:
+      return "min-peel";
+    case SolverKind::kMaxComponents:
+      return "max-components";
+  }
+  TICL_CHECK_MSG(false, "unknown solver kind");
+  return "";
+}
+
+SolverKind AutoSolverFor(const Query& query) {
+  if (!query.size_constrained()) {
+    if (query.aggregation.kind == Aggregation::kMin) {
+      return SolverKind::kMinPeel;
+    }
+    if (query.aggregation.kind == Aggregation::kMax) {
+      return SolverKind::kMaxComponents;
+    }
+    if (IsMonotoneUnderRemoval(query.aggregation)) {
+      return SolverKind::kImproved;
+    }
+  }
+  return SolverKind::kLocalGreedy;
+}
+
+SearchResult Solve(const Graph& g, const Query& query,
+                   const SolveOptions& options) {
+  SolverKind solver = options.solver;
+  if (solver == SolverKind::kAuto) solver = AutoSolverFor(query);
+  switch (solver) {
+    case SolverKind::kAuto:
+      break;  // unreachable
+    case SolverKind::kNaive:
+      return NaiveSearch(g, query);
+    case SolverKind::kImproved: {
+      ImprovedOptions improved;
+      improved.epsilon = 0.0;
+      return ImprovedSearch(g, query, improved);
+    }
+    case SolverKind::kApprox: {
+      ImprovedOptions improved;
+      improved.epsilon = options.epsilon;
+      return ImprovedSearch(g, query, improved);
+    }
+    case SolverKind::kExact:
+      return ExactSearch(g, query, options.exact);
+    case SolverKind::kLocalGreedy: {
+      LocalSearchOptions local = options.local;
+      local.greedy = true;
+      return LocalSearch(g, query, local);
+    }
+    case SolverKind::kLocalRandom: {
+      LocalSearchOptions local = options.local;
+      local.greedy = false;
+      return LocalSearch(g, query, local);
+    }
+    case SolverKind::kMinPeel:
+      return MinPeelSearch(g, query);
+    case SolverKind::kMaxComponents:
+      return MaxComponentsSearch(g, query);
+  }
+  TICL_CHECK_MSG(false, "unknown solver kind");
+  return {};
+}
+
+}  // namespace ticl

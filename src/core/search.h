@@ -1,0 +1,58 @@
+// The library's front door: one Solve() call that dispatches a (graph,
+// query) pair to the right algorithm, either automatically — following the
+// paper's hardness map — or by explicit choice.
+
+#ifndef TICL_CORE_SEARCH_H_
+#define TICL_CORE_SEARCH_H_
+
+#include <string>
+
+#include "core/exact_search.h"
+#include "core/improved_search.h"
+#include "core/local_search.h"
+#include "core/minmax_search.h"
+#include "core/naive_search.h"
+#include "core/query.h"
+#include "core/result.h"
+#include "graph/graph.h"
+
+namespace ticl {
+
+enum class SolverKind {
+  /// Pick automatically from the aggregation's traits and the constraints:
+  ///   node-dominated + unconstrained  -> min-peel / max-components
+  ///   monotone + unconstrained        -> Improved (exact, eps = 0)
+  ///   everything else (NP-hard)       -> LocalSearch greedy
+  kAuto,
+  kNaive,           // Algorithm 1
+  kImproved,        // Algorithm 2, eps = 0
+  kApprox,          // Algorithm 2, eps = options.epsilon
+  kExact,           // Algorithm 3 (tiny instances)
+  kLocalGreedy,     // Algorithm 4, greedy strategy
+  kLocalRandom,     // Algorithm 4, random (BFS-order) strategy
+  kMinPeel,         // prior-work min baseline
+  kMaxComponents,   // prior-work max baseline
+};
+
+std::string SolverKindName(SolverKind kind);
+
+struct SolveOptions {
+  SolverKind solver = SolverKind::kAuto;
+  /// Approximation ratio for kApprox (paper default 0.1).
+  double epsilon = 0.1;
+  LocalSearchOptions local;
+  ExactOptions exact;
+};
+
+/// Runs the query. Preconditions of the selected solver are enforced with
+/// TICL_CHECK (e.g. kNaive requires a monotone aggregation and no size
+/// constraint); kAuto always selects a compatible solver.
+SearchResult Solve(const Graph& g, const Query& query,
+                   const SolveOptions& options = {});
+
+/// The solver kAuto would select for this query.
+SolverKind AutoSolverFor(const Query& query);
+
+}  // namespace ticl
+
+#endif  // TICL_CORE_SEARCH_H_

@@ -1,0 +1,175 @@
+#include "core/truss_search.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "algo/truss_decomposition.h"
+#include "algo/union_find.h"
+#include "util/check.h"
+#include "util/timing.h"
+#include "util/top_r_list.h"
+
+namespace ticl {
+
+namespace {
+
+/// Truss-peels the subgraph induced by `members` minus `removed` and
+/// splits the survivors into components connected via truss->= k edges.
+/// Each component is sorted and expressed in original vertex ids.
+std::vector<VertexList> TrussRemoveAndSplit(const Graph& g,
+                                            const VertexList& members,
+                                            VertexId removed, VertexId k) {
+  VertexList reduced;
+  reduced.reserve(members.size());
+  for (const VertexId v : members) {
+    if (v != removed) reduced.push_back(v);
+  }
+  const InducedSubgraph sub = ExtractInducedSubgraph(g, reduced);
+  const TrussDecompositionResult decomp = TrussDecomposition(sub.graph);
+  UnionFind uf(sub.graph.num_vertices());
+  std::vector<std::uint8_t> covered(sub.graph.num_vertices(), 0);
+  for (std::size_t e = 0; e < decomp.edges.size(); ++e) {
+    if (decomp.truss[e] >= k) {
+      uf.Union(decomp.edges[e].u, decomp.edges[e].v);
+      covered[decomp.edges[e].u] = 1;
+      covered[decomp.edges[e].v] = 1;
+    }
+  }
+  std::vector<std::pair<VertexId, VertexId>> rep_vertex;
+  for (VertexId lv = 0; lv < sub.graph.num_vertices(); ++lv) {
+    if (covered[lv]) rep_vertex.emplace_back(uf.Find(lv), lv);
+  }
+  std::sort(rep_vertex.begin(), rep_vertex.end());
+  std::vector<VertexList> components;
+  for (std::size_t i = 0; i < rep_vertex.size();) {
+    VertexList component;
+    const VertexId rep = rep_vertex[i].first;
+    while (i < rep_vertex.size() && rep_vertex[i].first == rep) {
+      component.push_back(sub.to_original[rep_vertex[i].second]);
+      ++i;
+    }
+    std::sort(component.begin(), component.end());
+    components.push_back(std::move(component));
+  }
+  return components;
+}
+
+double ChildValueBound(const AggregationSpec& spec, double parent_value,
+                       Weight removed_weight) {
+  switch (spec.kind) {
+    case Aggregation::kSum:
+      return parent_value - removed_weight;
+    case Aggregation::kSumSurplus:
+      return parent_value - removed_weight - spec.alpha;
+    default:
+      TICL_CHECK_MSG(false, "ChildValueBound requires a monotone spec");
+      return 0.0;
+  }
+}
+
+struct PoolEntry {
+  Community community;
+  bool expanded = false;
+};
+
+}  // namespace
+
+SearchResult TrussImprovedSearch(const Graph& g, const Query& query) {
+  TICL_CHECK_MSG(ValidateQuery(query, g).empty(), "invalid query");
+  TICL_CHECK_MSG(query.k >= 2, "a k-truss needs k >= 2");
+  TICL_CHECK_MSG(!query.size_constrained(),
+                 "TrussImprovedSearch solves the unconstrained problem");
+  TICL_CHECK_MSG(IsMonotoneUnderRemoval(query.aggregation),
+                 "TrussImprovedSearch requires a monotone aggregation");
+  WallTimer timer;
+  SearchResult result;
+
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<PoolEntry> pool;
+  const auto better = [](const Community& a, const Community& b) {
+    return TopRList<int>::Better(a.influence, a.hash, b.influence, b.hash);
+  };
+  const auto threshold = [&]() -> double {
+    if (pool.size() < query.r) {
+      return -std::numeric_limits<double>::infinity();
+    }
+    double worst = std::numeric_limits<double>::infinity();
+    for (const PoolEntry& entry : pool) {
+      worst = std::min(worst, entry.community.influence);
+    }
+    return worst;
+  };
+  const auto insert = [&](Community c) {
+    if (pool.size() < query.r) {
+      pool.push_back(PoolEntry{std::move(c), false});
+      return;
+    }
+    std::size_t worst = 0;
+    for (std::size_t i = 1; i < pool.size(); ++i) {
+      if (!better(pool[i].community, pool[worst].community)) worst = i;
+    }
+    if (better(c, pool[worst].community)) {
+      pool[worst] = PoolEntry{std::move(c), false};
+    } else {
+      ++result.stats.candidates_pruned;
+    }
+  };
+
+  for (VertexList& component : KTrussComponents(g, query.k)) {
+    Community c = MakeCommunity(g, std::move(component), query.aggregation);
+    ++result.stats.candidates_generated;
+    seen.insert(c.hash);
+    insert(std::move(c));
+  }
+
+  if (!query.non_overlapping) {
+    for (;;) {
+      // Best unexpanded candidate.
+      std::size_t pick = pool.size();
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        if (pool[i].expanded) continue;
+        if (pick == pool.size() ||
+            better(pool[i].community, pool[pick].community)) {
+          pick = i;
+        }
+      }
+      if (pick == pool.size()) break;
+      pool[pick].expanded = true;
+      const double parent_value = pool[pick].community.influence;
+      const VertexList parent_members = pool[pick].community.members;
+
+      for (const VertexId v : parent_members) {
+        const double bound =
+            ChildValueBound(query.aggregation, parent_value, g.weight(v));
+        if (bound < threshold()) {
+          ++result.stats.candidates_pruned;
+          continue;
+        }
+        ++result.stats.peel_operations;
+        for (VertexList& child :
+             TrussRemoveAndSplit(g, parent_members, v, query.k)) {
+          Community c =
+              MakeCommunity(g, std::move(child), query.aggregation);
+          if (!seen.insert(c.hash).second) {
+            ++result.stats.duplicates_skipped;
+            continue;
+          }
+          ++result.stats.candidates_generated;
+          insert(std::move(c));
+        }
+      }
+    }
+  }
+
+  std::sort(pool.begin(), pool.end(),
+            [&better](const PoolEntry& a, const PoolEntry& b) {
+              return better(a.community, b.community);
+            });
+  for (PoolEntry& entry : pool) {
+    result.communities.push_back(std::move(entry.community));
+  }
+  result.stats.elapsed_seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ticl

@@ -1,0 +1,31 @@
+// Top-r influential community search under the k-truss cohesiveness model
+// — the extension the paper points at in §I/§VII (the influential
+// community model "is extended to include additional cohesiveness
+// metrics, e.g., k-truss").
+//
+// A k-truss community is a vertex set H such that the edges of G[H] with
+// induced truss number >= k span H and connect it. The solver mirrors
+// Algorithm 2's best-first deletion search: seed with the connected
+// components of the maximal k-truss, expand the best candidate by deleting
+// one vertex and truss-peeling the remainder. For monotone aggregations
+// (sum, sum-surplus) this is exact by the same argument as the k-core case
+// (DESIGN.md §3.2); the O(1) child-value bound pruning carries over.
+
+#ifndef TICL_CORE_TRUSS_SEARCH_H_
+#define TICL_CORE_TRUSS_SEARCH_H_
+
+#include "core/query.h"
+#include "core/result.h"
+#include "graph/graph.h"
+
+namespace ticl {
+
+/// Preconditions (checked): valid query, size-unconstrained, monotone
+/// aggregation, k >= 2 (query.k is the *truss* parameter here). TONIC
+/// queries return the top-r k-truss components (disjoint and dominant
+/// under monotone f).
+SearchResult TrussImprovedSearch(const Graph& g, const Query& query);
+
+}  // namespace ticl
+
+#endif  // TICL_CORE_TRUSS_SEARCH_H_

@@ -1,0 +1,109 @@
+#include "core/verification.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "algo/connectivity.h"
+#include "util/top_r_list.h"
+
+namespace ticl {
+
+namespace {
+
+std::string Describe(const char* what, std::size_t index) {
+  return std::string(what) + " (community #" + std::to_string(index) + ")";
+}
+
+}  // namespace
+
+std::string ValidateCommunity(const Graph& g, const VertexList& members,
+                              VertexId k, VertexId size_limit) {
+  if (members.empty()) return "community is empty";
+  if (!std::is_sorted(members.begin(), members.end())) {
+    return "members not sorted";
+  }
+  if (std::adjacent_find(members.begin(), members.end()) != members.end()) {
+    return "duplicate members";
+  }
+  if (members.back() >= g.num_vertices()) return "member out of range";
+  if (size_limit != 0 && members.size() > size_limit) {
+    return "size limit exceeded";
+  }
+
+  // Induced minimum degree >= k.
+  std::unordered_set<VertexId> in_set(members.begin(), members.end());
+  for (const VertexId v : members) {
+    VertexId deg = 0;
+    for (const VertexId nbr : g.neighbors(v)) {
+      if (in_set.contains(nbr)) ++deg;
+    }
+    if (deg < k) {
+      return "vertex " + std::to_string(v) + " has induced degree " +
+             std::to_string(deg) + " < k=" + std::to_string(k);
+    }
+  }
+
+  if (!IsSubsetConnected(g, members)) return "community not connected";
+  return "";
+}
+
+std::string ValidateResult(const Graph& g, const Query& query,
+                           const SearchResult& result) {
+  const std::string query_problem = ValidateQuery(query, g);
+  if (!query_problem.empty()) return "invalid query: " + query_problem;
+  if (result.communities.size() > query.r) {
+    return "more than r communities returned";
+  }
+
+  std::unordered_set<std::uint64_t> hashes;
+  for (std::size_t i = 0; i < result.communities.size(); ++i) {
+    const Community& c = result.communities[i];
+    const std::string problem =
+        ValidateCommunity(g, c.members, query.k, query.size_limit);
+    if (!problem.empty()) return Describe(problem.c_str(), i);
+
+    const double recomputed =
+        EvaluateOnSubset(query.aggregation, g, c.members);
+    if (std::isinf(recomputed) || std::isinf(c.influence)) {
+      if (recomputed != c.influence) {
+        return Describe("stored influence mismatches recomputation", i);
+      }
+    } else {
+      // Solvers may compute influence incrementally; allow a relative
+      // epsilon.
+      const double tolerance =
+          1e-9 *
+          std::max({1.0, std::fabs(recomputed), std::fabs(c.influence)});
+      if (std::fabs(recomputed - c.influence) > tolerance) {
+        return Describe("stored influence mismatches recomputation", i);
+      }
+    }
+
+    if (!hashes.insert(c.hash).second) {
+      return Describe("duplicate community in result", i);
+    }
+    if (i > 0) {
+      const Community& prev = result.communities[i - 1];
+      if (!TopRList<int>::Better(prev.influence, prev.hash, c.influence,
+                                 c.hash)) {
+        return Describe("result not sorted by decreasing influence", i);
+      }
+    }
+  }
+
+  if (query.non_overlapping) {
+    for (std::size_t i = 0; i < result.communities.size(); ++i) {
+      for (std::size_t j = i + 1; j < result.communities.size(); ++j) {
+        if (CommunitiesOverlap(result.communities[i],
+                               result.communities[j])) {
+          return "TONIC result communities " + std::to_string(i) + " and " +
+                 std::to_string(j) + " overlap";
+        }
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace ticl

@@ -1,0 +1,31 @@
+// Result validation: checks that solver outputs actually satisfy the
+// community model. Used heavily by the test suite and exposed publicly so
+// downstream users can assert on results too.
+
+#ifndef TICL_CORE_VERIFICATION_H_
+#define TICL_CORE_VERIFICATION_H_
+
+#include <string>
+
+#include "core/query.h"
+#include "core/result.h"
+#include "graph/graph.h"
+
+namespace ticl {
+
+/// Checks one community against Definition 3/4: members sorted and unique,
+/// in range, non-empty, induced minimum degree >= k, connected, and within
+/// the size limit (0 = unbounded). Returns "" when valid, else a diagnostic.
+std::string ValidateCommunity(const Graph& g, const VertexList& members,
+                              VertexId k, VertexId size_limit = 0);
+
+/// Checks a whole result set against a query: every community valid, the
+/// stored influence matching a recomputation, non-increasing influence
+/// order, no duplicate communities, pairwise disjoint when the query is
+/// TONIC, and at most r entries. Returns "" when valid.
+std::string ValidateResult(const Graph& g, const Query& query,
+                           const SearchResult& result);
+
+}  // namespace ticl
+
+#endif  // TICL_CORE_VERIFICATION_H_

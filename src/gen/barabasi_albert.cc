@@ -1,0 +1,56 @@
+#include "gen/barabasi_albert.h"
+
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ticl {
+
+Graph GenerateBarabasiAlbert(VertexId n, VertexId edges_per_vertex,
+                             std::uint64_t seed) {
+  TICL_CHECK(edges_per_vertex >= 1);
+  TICL_CHECK(n > edges_per_vertex);
+  Rng rng(seed);
+  GraphBuilder builder;
+  builder.SetNumVertices(n);
+
+  // endpoint list: every edge contributes both endpoints, so sampling a
+  // uniform element is degree-proportional sampling.
+  std::vector<VertexId> endpoints;
+  const VertexId seed_size = edges_per_vertex + 1;
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      builder.AddEdge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  std::vector<VertexId> targets(edges_per_vertex);
+  for (VertexId v = seed_size; v < n; ++v) {
+    // Sample edges_per_vertex distinct targets (retry on collision).
+    std::size_t filled = 0;
+    while (filled < edges_per_vertex) {
+      const VertexId candidate =
+          endpoints[rng.NextBounded(endpoints.size())];
+      bool duplicate = false;
+      for (std::size_t i = 0; i < filled; ++i) {
+        if (targets[i] == candidate) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) targets[filled++] = candidate;
+    }
+    for (std::size_t i = 0; i < filled; ++i) {
+      builder.AddEdge(v, targets[i]);
+      endpoints.push_back(v);
+      endpoints.push_back(targets[i]);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace ticl

@@ -1,0 +1,22 @@
+// Barabási–Albert preferential attachment: each arriving vertex attaches to
+// `edges_per_vertex` existing vertices chosen proportionally to degree.
+// Produces power-law degree tails with guaranteed connectivity.
+
+#ifndef TICL_GEN_BARABASI_ALBERT_H_
+#define TICL_GEN_BARABASI_ALBERT_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace ticl {
+
+/// Generates a BA graph with n vertices. The first
+/// `edges_per_vertex + 1` vertices form a clique seed. Requires
+/// n > edges_per_vertex >= 1. Deterministic in `seed`.
+Graph GenerateBarabasiAlbert(VertexId n, VertexId edges_per_vertex,
+                             std::uint64_t seed);
+
+}  // namespace ticl
+
+#endif  // TICL_GEN_BARABASI_ALBERT_H_

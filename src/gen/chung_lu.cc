@@ -1,0 +1,76 @@
+#include "gen/chung_lu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/graph_builder.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ticl {
+
+Graph GenerateChungLu(const ChungLuOptions& options) {
+  const VertexId n = options.num_vertices;
+  TICL_CHECK(options.gamma > 2.0 && options.gamma < 3.0);
+  TICL_CHECK(options.target_average_degree > 0.0);
+  GraphBuilder builder;
+  builder.SetNumVertices(n);
+  if (n < 2) return builder.Build();
+
+  // Power-law expected-degree sequence: theta_i ~ (i + i0)^(-1/(gamma-1)),
+  // shifted so the maximum expected degree stays near sqrt(theta_sum)
+  // (keeps p_uv = theta_u * theta_v / sum <= 1 approximately valid).
+  const double exponent = -1.0 / (options.gamma - 1.0);
+  std::vector<double> theta(n);
+  double theta_sum = 0.0;
+  for (VertexId i = 0; i < n; ++i) {
+    theta[i] = std::pow(static_cast<double>(i) + 1.0, exponent);
+    theta_sum += theta[i];
+  }
+  // Scale so the sum of expected degrees is n * target_average_degree.
+  const double scale =
+      static_cast<double>(n) * options.target_average_degree / theta_sum;
+  double cap_sum = 0.0;
+  for (VertexId i = 0; i < n; ++i) {
+    theta[i] *= scale;
+    cap_sum += theta[i];
+  }
+
+  // Cumulative distribution for endpoint sampling.
+  std::vector<double> cumulative(n);
+  double acc = 0.0;
+  for (VertexId i = 0; i < n; ++i) {
+    acc += theta[i];
+    cumulative[i] = acc;
+  }
+  const double total = acc;
+
+  Rng rng(options.seed);
+  const auto sample_endpoint = [&]() -> VertexId {
+    const double x = rng.NextDouble() * total;
+    const auto it =
+        std::lower_bound(cumulative.begin(), cumulative.end(), x);
+    return static_cast<VertexId>(
+        std::min<std::ptrdiff_t>(it - cumulative.begin(),
+                                 static_cast<std::ptrdiff_t>(n) - 1));
+  };
+
+  // Sample m = cap_sum / 2 edges (expected-degree bookkeeping), dropping
+  // self-loops and duplicates.
+  const auto target_edges = static_cast<std::uint64_t>(cap_sum / 2.0);
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(target_edges) * 2);
+  for (std::uint64_t e = 0; e < target_edges; ++e) {
+    VertexId u = sample_endpoint();
+    VertexId v = sample_endpoint();
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+    if (seen.insert(key).second) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+}  // namespace ticl

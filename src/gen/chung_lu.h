@@ -1,0 +1,32 @@
+// Chung–Lu random graphs with power-law expected degrees.
+//
+// This is the stand-in model for the paper's SNAP datasets: the paper's own
+// complexity analysis (§IV, "Power-Law Graph") assumes degree distribution
+// P(k) ~ k^-gamma with 2 < gamma < 3, which is exactly what this generator
+// produces. Endpoints of each sampled edge are drawn proportionally to a
+// power-law weight sequence; duplicates and self-loops are discarded.
+
+#ifndef TICL_GEN_CHUNG_LU_H_
+#define TICL_GEN_CHUNG_LU_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace ticl {
+
+struct ChungLuOptions {
+  VertexId num_vertices = 0;
+  /// Target average degree (2m/n). Realized value is slightly lower because
+  /// duplicate samples are discarded.
+  double target_average_degree = 8.0;
+  /// Power-law exponent, 2 < gamma < 3 per the paper's model.
+  double gamma = 2.5;
+  std::uint64_t seed = 0;
+};
+
+Graph GenerateChungLu(const ChungLuOptions& options);
+
+}  // namespace ticl
+
+#endif  // TICL_GEN_CHUNG_LU_H_

@@ -1,0 +1,178 @@
+#include "gen/coauthor_network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/graph_builder.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ticl {
+
+namespace {
+
+constexpr const char* kFieldNames[] = {
+    "Data Mining", "Medical Informatics", "Theory", "Visualization",
+    "Database"};
+
+constexpr const char* kSurnames[] = {
+    "Abel",    "Baker",  "Chen",    "Dumas",   "Egan",    "Farrell",
+    "Gupta",   "Huang",  "Ishida",  "Jansen",  "Kim",     "Laurent",
+    "Mehta",   "Nakano", "Olsen",   "Petrov",  "Quinn",   "Rossi",
+    "Sato",    "Tanaka", "Ullman",  "Varga",   "Weber",   "Xu",
+    "Yilmaz",  "Zhang",  "Adler",   "Bauer",   "Costa",   "Dietrich",
+    "Eriksen", "Fischer", "Garcia", "Hoffman", "Iyer",    "Johnson",
+    "Klein",   "Lopez",  "Moreau",  "Novak",   "Oliveira", "Park"};
+
+constexpr char kInitials[] = "ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+
+double SampleMetric(CitationMetric metric, bool senior, Rng* rng) {
+  // Seniors draw from a heavy-tailed (log-normal) citation profile; juniors
+  // sit near the bottom — the "freshly graduated students joined as new
+  // professors" situation from the paper's §I research-group example.
+  const double base = senior ? std::exp(rng->NextGaussian() * 0.5 + 3.0)
+                             : std::exp(rng->NextGaussian() * 0.4 + 1.0);
+  switch (metric) {
+    case CitationMetric::kHIndex:
+      return std::floor(base);
+    case CitationMetric::kGIndex:
+      // g >= h in practice; roughly 1.7x with noise.
+      return std::floor(base * (1.5 + 0.4 * rng->NextDouble()));
+    case CitationMetric::kI10Index:
+      // i10 grows super-linearly in h for productive researchers.
+      return std::floor(std::pow(base, 1.15));
+  }
+  TICL_CHECK_MSG(false, "unknown citation metric");
+  return 0.0;
+}
+
+}  // namespace
+
+std::string CitationMetricName(CitationMetric metric) {
+  switch (metric) {
+    case CitationMetric::kHIndex:
+      return "h-index";
+    case CitationMetric::kGIndex:
+      return "g-index";
+    case CitationMetric::kI10Index:
+      return "i10-index";
+  }
+  TICL_CHECK_MSG(false, "unknown citation metric");
+  return "";
+}
+
+CoauthorNetwork GenerateCoauthorNetwork(
+    const CoauthorNetworkOptions& options) {
+  TICL_CHECK(options.num_fields >= 1);
+  TICL_CHECK(options.groups_per_field >= 1);
+  TICL_CHECK(options.min_group_size >= 2);
+  TICL_CHECK(options.min_group_size <= options.max_group_size);
+  Rng rng(options.seed);
+  Rng size_rng = rng.Fork(1);
+  Rng edge_rng = rng.Fork(2);
+  Rng weight_rng = rng.Fork(3);
+  Rng name_rng = rng.Fork(4);
+
+  CoauthorNetwork out;
+  for (std::uint32_t f = 0; f < options.num_fields; ++f) {
+    const std::size_t pool = sizeof(kFieldNames) / sizeof(kFieldNames[0]);
+    std::string name = kFieldNames[f % pool];
+    if (f >= pool) {
+      name += ' ';
+      name += std::to_string(f / pool + 1);
+    }
+    out.field_names.push_back(std::move(name));
+  }
+
+  // Lay out the groups.
+  VertexId next_id = 0;
+  for (std::uint32_t f = 0; f < options.num_fields; ++f) {
+    for (std::uint32_t gi = 0; gi < options.groups_per_field; ++gi) {
+      const auto size = static_cast<VertexId>(size_rng.NextInRange(
+          options.min_group_size, options.max_group_size));
+      VertexList members;
+      for (VertexId i = 0; i < size; ++i) {
+        members.push_back(next_id++);
+        out.field.push_back(f);
+        out.group.push_back(static_cast<std::uint32_t>(
+            out.group_members.size()));
+      }
+      out.group_members.push_back(std::move(members));
+    }
+  }
+  const VertexId n = next_id;
+
+  GraphBuilder builder;
+  builder.SetNumVertices(n);
+  // Intra-group collaborations. A spanning path guarantees each group is
+  // connected even at low intra-group probability.
+  for (const VertexList& members : out.group_members) {
+    for (std::size_t i = 0; i + 1 < members.size(); ++i) {
+      builder.AddEdge(members[i], members[i + 1]);
+    }
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        if (edge_rng.NextBernoulli(options.intra_group_probability)) {
+          builder.AddEdge(members[i], members[j]);
+        }
+      }
+    }
+  }
+  // Cross-group (same field) collaborations.
+  const std::uint32_t groups_total =
+      options.num_fields * options.groups_per_field;
+  for (std::uint32_t g = 0; g < groups_total; ++g) {
+    const std::uint32_t f = g / options.groups_per_field;
+    for (std::uint32_t e = 0; e < options.cross_group_edges; ++e) {
+      const std::uint32_t other =
+          f * options.groups_per_field +
+          static_cast<std::uint32_t>(
+              edge_rng.NextBounded(options.groups_per_field));
+      if (other == g) continue;
+      const VertexList& a = out.group_members[g];
+      const VertexList& b = out.group_members[other];
+      builder.AddEdge(a[edge_rng.NextBounded(a.size())],
+                      b[edge_rng.NextBounded(b.size())]);
+    }
+  }
+  // Cross-field bridges.
+  if (options.num_fields > 1) {
+    for (std::uint32_t e = 0; e < options.cross_field_edges; ++e) {
+      const auto u = static_cast<VertexId>(edge_rng.NextBounded(n));
+      const auto v = static_cast<VertexId>(edge_rng.NextBounded(n));
+      if (out.field[u] != out.field[v]) builder.AddEdge(u, v);
+    }
+  }
+  out.graph = builder.Build();
+
+  // Citation-metric weights: each group gets a senior cohort with strong
+  // metrics and a junior cohort near the floor.
+  std::vector<Weight> weights(n, 0.0);
+  for (const VertexList& members : out.group_members) {
+    const auto seniors = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(members.size()) *
+                  options.senior_fraction));
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const bool senior = i < seniors;
+      weights[members[i]] =
+          SampleMetric(options.metric, senior, &weight_rng);
+    }
+  }
+  out.graph.SetWeights(std::move(weights));
+
+  // Names: "X. Surname" plus a disambiguating suffix when the pool repeats.
+  const std::size_t surname_pool = sizeof(kSurnames) / sizeof(kSurnames[0]);
+  const std::size_t initial_pool = sizeof(kInitials) - 1;
+  out.names.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const char initial =
+        kInitials[name_rng.NextBounded(initial_pool)];
+    const std::string surname =
+        kSurnames[name_rng.NextBounded(surname_pool)];
+    out.names[v] = std::string(1, initial) + ". " + surname + " [" +
+                   std::to_string(v) + "]";
+  }
+  return out;
+}
+
+}  // namespace ticl

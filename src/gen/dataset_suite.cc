@@ -1,0 +1,116 @@
+#include "gen/dataset_suite.h"
+
+#include <cmath>
+
+#include "gen/chung_lu.h"
+#include "util/check.h"
+
+namespace ticl {
+
+const std::vector<StandIn>& AllStandIns() {
+  static const std::vector<StandIn> kAll = {
+      StandIn::kEmail,       StandIn::kDblp,        StandIn::kYoutube,
+      StandIn::kOrkut,       StandIn::kLiveJournal, StandIn::kFriendster};
+  return kAll;
+}
+
+std::string StandInName(StandIn dataset) {
+  switch (dataset) {
+    case StandIn::kEmail:
+      return "email";
+    case StandIn::kDblp:
+      return "dblp";
+    case StandIn::kYoutube:
+      return "youtube";
+    case StandIn::kOrkut:
+      return "orkut";
+    case StandIn::kLiveJournal:
+      return "livejournal";
+    case StandIn::kFriendster:
+      return "friendster";
+  }
+  TICL_CHECK_MSG(false, "unknown stand-in");
+  return "";
+}
+
+DatasetSpec GetDatasetSpec(StandIn dataset, double scale) {
+  TICL_CHECK(scale > 0.0);
+  DatasetSpec spec;
+  spec.name = StandInName(dataset);
+  // Baseline (scale = 1) sizes keep the full bench suite in a minutes-level
+  // budget on a 2-core box while preserving the original ordering by n and
+  // by density. Average degree and the Orkut/Friendster density spike come
+  // straight from Table III of the paper.
+  switch (dataset) {
+    case StandIn::kEmail:
+      spec.num_vertices = 3000;
+      spec.average_degree = 10.0;
+      spec.gamma = 2.5;
+      spec.large = false;
+      spec.seed = 0xE3A11;
+      spec.paper_vertices = 36692;
+      spec.paper_edges = 183831;
+      break;
+    case StandIn::kDblp:
+      spec.num_vertices = 8000;
+      spec.average_degree = 6.6;
+      spec.gamma = 2.3;
+      spec.large = false;
+      spec.seed = 0xDB1B;
+      spec.paper_vertices = 317080;
+      spec.paper_edges = 1049866;
+      break;
+    case StandIn::kYoutube:
+      spec.num_vertices = 14000;
+      spec.average_degree = 5.3;
+      spec.gamma = 2.2;
+      spec.large = false;
+      spec.seed = 0x107BE;
+      spec.paper_vertices = 1134890;
+      spec.paper_edges = 2987624;
+      break;
+    case StandIn::kOrkut:
+      spec.num_vertices = 9000;
+      spec.average_degree = 76.0;
+      spec.gamma = 2.4;
+      spec.large = true;
+      spec.seed = 0x0124;
+      spec.paper_vertices = 3072441;
+      spec.paper_edges = 117185083;
+      break;
+    case StandIn::kLiveJournal:
+      spec.num_vertices = 16000;
+      spec.average_degree = 17.3;
+      spec.gamma = 2.3;
+      spec.large = true;
+      spec.seed = 0x11FE;
+      spec.paper_vertices = 3997962;
+      spec.paper_edges = 34681189;
+      break;
+    case StandIn::kFriendster:
+      spec.num_vertices = 20000;
+      spec.average_degree = 55.0;
+      spec.gamma = 2.5;
+      spec.large = true;
+      spec.seed = 0xF51E;
+      spec.paper_vertices = 65608366;
+      spec.paper_edges = 1806067135;
+      break;
+  }
+  spec.num_vertices = static_cast<VertexId>(
+      std::llround(static_cast<double>(spec.num_vertices) * scale));
+  if (spec.num_vertices < 16) spec.num_vertices = 16;
+  return spec;
+}
+
+Graph GenerateStandIn(StandIn dataset, double scale) {
+  const DatasetSpec spec = GetDatasetSpec(dataset, scale);
+  ChungLuOptions options;
+  options.num_vertices = spec.num_vertices;
+  options.target_average_degree = spec.average_degree;
+  options.gamma = spec.gamma;
+  options.seed = spec.seed;
+  return GenerateChungLu(options);
+}
+
+}  // namespace ticl

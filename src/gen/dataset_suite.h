@@ -1,0 +1,59 @@
+// Named stand-ins for the paper's SNAP datasets (Table III).
+//
+// The originals (Email, DBLP, Youtube, Orkut, LiveJournal, FriendSter) are
+// multi-GB downloads; the benchmark harness instead generates seeded
+// Chung–Lu power-law graphs whose relative sizes and densities mirror the
+// originals, scaled to a laptop/CI budget. `scale` multiplies vertex counts
+// (TICL_SCALE env var in the bench harness); seeds are fixed so every run
+// sees identical graphs.
+
+#ifndef TICL_GEN_DATASET_SUITE_H_
+#define TICL_GEN_DATASET_SUITE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ticl {
+
+enum class StandIn {
+  kEmail,
+  kDblp,
+  kYoutube,
+  kOrkut,
+  kLiveJournal,
+  kFriendster,
+};
+
+/// All stand-ins, in the paper's Table III order.
+const std::vector<StandIn>& AllStandIns();
+
+/// "email", "dblp", ... (lower-case, benchmark-label friendly).
+std::string StandInName(StandIn dataset);
+
+struct DatasetSpec {
+  std::string name;
+  VertexId num_vertices = 0;     // after scaling
+  double average_degree = 0.0;   // mirrors the original's 2m/n
+  double gamma = 2.5;            // power-law exponent
+  /// True for the paper's "large" group (Orkut, LiveJournal, FriendSter):
+  /// the paper defaults k = 40 there and k = 4 on the small group.
+  bool large = false;
+  std::uint64_t seed = 0;
+  /// Original SNAP statistics, for the Table III comparison column.
+  std::uint64_t paper_vertices = 0;
+  std::uint64_t paper_edges = 0;
+};
+
+/// Spec for a stand-in at the given scale (scale > 0; 1.0 = defaults).
+DatasetSpec GetDatasetSpec(StandIn dataset, double scale);
+
+/// Generates the stand-in topology (no weights; callers typically install
+/// PageRank weights to match the paper's setup).
+Graph GenerateStandIn(StandIn dataset, double scale);
+
+}  // namespace ticl
+
+#endif  // TICL_GEN_DATASET_SUITE_H_

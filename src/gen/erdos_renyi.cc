@@ -1,0 +1,36 @@
+#include "gen/erdos_renyi.h"
+
+#include <unordered_set>
+
+#include "graph/graph_builder.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ticl {
+
+Graph GenerateErdosRenyi(VertexId n, std::uint64_t m, std::uint64_t seed) {
+  GraphBuilder builder;
+  builder.SetNumVertices(n);
+  if (n >= 2) {
+    const std::uint64_t max_edges =
+        static_cast<std::uint64_t>(n) * (n - 1) / 2;
+    if (m > max_edges) m = max_edges;
+    TICL_CHECK_MSG(m <= max_edges / 2 + 8 || n < 64,
+                   "dense G(n,m) would make rejection sampling slow; "
+                   "use a smaller m");
+    Rng rng(seed);
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(static_cast<std::size_t>(m) * 2);
+    while (seen.size() < m) {
+      auto u = static_cast<VertexId>(rng.NextBounded(n));
+      auto v = static_cast<VertexId>(rng.NextBounded(n));
+      if (u == v) continue;
+      if (u > v) std::swap(u, v);
+      const std::uint64_t key = (static_cast<std::uint64_t>(u) << 32) | v;
+      if (seen.insert(key).second) builder.AddEdge(u, v);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace ticl

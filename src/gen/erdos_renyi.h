@@ -1,0 +1,18 @@
+// Uniform random graph G(n, m): m distinct edges sampled uniformly from all
+// unordered pairs. Baseline topology for tests and ablations.
+
+#ifndef TICL_GEN_ERDOS_RENYI_H_
+#define TICL_GEN_ERDOS_RENYI_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace ticl {
+
+/// Generates G(n, m). `m` is clamped to n*(n-1)/2. Deterministic in `seed`.
+Graph GenerateErdosRenyi(VertexId n, std::uint64_t m, std::uint64_t seed);
+
+}  // namespace ticl
+
+#endif  // TICL_GEN_ERDOS_RENYI_H_

@@ -1,0 +1,77 @@
+#include "gen/planted_communities.h"
+
+#include "gen/chung_lu.h"
+#include "graph/graph_builder.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ticl {
+
+PlantedCommunities GeneratePlantedCommunities(
+    const PlantedCommunitiesOptions& options) {
+  TICL_CHECK(options.community_size >= 2);
+  TICL_CHECK(options.intra_probability > 0.0 &&
+             options.intra_probability <= 1.0);
+  Rng rng(options.seed);
+
+  // Background topology.
+  ChungLuOptions bg;
+  bg.num_vertices = options.background_vertices;
+  bg.target_average_degree = options.background_average_degree;
+  bg.gamma = options.background_gamma;
+  bg.seed = rng.Fork(1).Next();
+  const Graph background = GenerateChungLu(bg);
+
+  const VertexId total =
+      options.background_vertices +
+      options.num_communities * options.community_size;
+  GraphBuilder builder;
+  builder.SetNumVertices(total);
+  for (VertexId u = 0; u < background.num_vertices(); ++u) {
+    for (const VertexId v : background.neighbors(u)) {
+      if (u < v) builder.AddEdge(u, v);
+    }
+  }
+
+  PlantedCommunities out;
+  Rng intra_rng = rng.Fork(2);
+  Rng attach_rng = rng.Fork(3);
+  VertexId next_id = options.background_vertices;
+  for (std::uint32_t c = 0; c < options.num_communities; ++c) {
+    VertexList members;
+    for (VertexId i = 0; i < options.community_size; ++i) {
+      members.push_back(next_id++);
+    }
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      for (std::size_t j = i + 1; j < members.size(); ++j) {
+        if (intra_rng.NextBernoulli(options.intra_probability)) {
+          builder.AddEdge(members[i], members[j]);
+        }
+      }
+    }
+    if (options.background_vertices > 0) {
+      for (std::uint32_t e = 0; e < options.attachment_edges; ++e) {
+        const auto bg_v = static_cast<VertexId>(
+            attach_rng.NextBounded(options.background_vertices));
+        const VertexId member =
+            members[attach_rng.NextBounded(members.size())];
+        builder.AddEdge(member, bg_v);
+      }
+    }
+    out.planted.push_back(std::move(members));
+  }
+
+  out.graph = builder.Build();
+
+  // Weights: low for background, boosted for planted members.
+  Rng weight_rng = rng.Fork(4);
+  std::vector<Weight> weights(total);
+  for (VertexId v = 0; v < total; ++v) weights[v] = weight_rng.NextDouble();
+  for (const VertexList& block : out.planted) {
+    for (const VertexId v : block) weights[v] += options.weight_boost;
+  }
+  out.graph.SetWeights(std::move(weights));
+  return out;
+}
+
+}  // namespace ticl

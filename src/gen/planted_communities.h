@@ -1,0 +1,47 @@
+// Planted-community workloads with known ground truth.
+//
+// Effectiveness experiments (paper Figs. 12–13) and the property tests need
+// graphs where the best influential communities are known by construction:
+// dense high-weight blocks embedded in a sparse background.
+
+#ifndef TICL_GEN_PLANTED_COMMUNITIES_H_
+#define TICL_GEN_PLANTED_COMMUNITIES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ticl {
+
+struct PlantedCommunitiesOptions {
+  /// Background vertices (Chung–Lu power law).
+  VertexId background_vertices = 1000;
+  double background_average_degree = 6.0;
+  double background_gamma = 2.5;
+  /// Number of planted blocks and members per block.
+  std::uint32_t num_communities = 5;
+  VertexId community_size = 10;
+  /// Intra-block edge probability (1.0 = clique).
+  double intra_probability = 1.0;
+  /// Random edges attaching each block to the background.
+  std::uint32_t attachment_edges = 2;
+  /// Weights: background ~ Uniform[0, 1); planted members get
+  /// Uniform[0, 1) + weight_boost.
+  double weight_boost = 10.0;
+  std::uint64_t seed = 0;
+};
+
+struct PlantedCommunities {
+  Graph graph;  // weights installed
+  /// Ground-truth member lists (sorted), one per planted block. Vertices
+  /// [background_vertices, n) are the planted ones.
+  std::vector<VertexList> planted;
+};
+
+PlantedCommunities GeneratePlantedCommunities(
+    const PlantedCommunitiesOptions& options);
+
+}  // namespace ticl
+
+#endif  // TICL_GEN_PLANTED_COMMUNITIES_H_

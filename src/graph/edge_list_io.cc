@@ -1,0 +1,120 @@
+#include "graph/edge_list_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace ticl {
+
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+bool IsBlankOrComment(const std::string& line) {
+  for (const char c : line) {
+    if (c == '#' || c == '%') return true;  // comment
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;  // blank
+}
+
+}  // namespace
+
+bool LoadEdgeList(const std::string& path, Graph* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) return Fail(error, "cannot open edge list: " + path);
+
+  GraphBuilder builder;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsBlankOrComment(line)) continue;
+    std::istringstream fields(line);
+    long long u = -1;
+    long long v = -1;
+    if (!(fields >> u >> v) || u < 0 || v < 0) {
+      return Fail(error, "malformed edge at " + path + ":" +
+                             std::to_string(line_no) + ": '" + line + "'");
+    }
+    builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  if (in.bad()) return Fail(error, "read error on " + path);
+  *out = builder.Build();
+  return true;
+}
+
+bool SaveEdgeList(const std::string& path, const Graph& g,
+                  std::string* error) {
+  std::ofstream out(path);
+  if (!out) return Fail(error, "cannot open for writing: " + path);
+  out << "# ticl edge list\n";
+  out << "# nodes: " << g.num_vertices() << " edges: " << g.num_edges()
+      << "\n";
+  const VertexId n = g.num_vertices();
+  for (VertexId u = 0; u < n; ++u) {
+    for (const VertexId v : g.neighbors(u)) {
+      if (u < v) out << u << ' ' << v << '\n';
+    }
+  }
+  out.flush();
+  if (!out) return Fail(error, "write error on " + path);
+  return true;
+}
+
+bool LoadWeights(const std::string& path, Graph* g, std::string* error) {
+  std::ifstream in(path);
+  if (!in) return Fail(error, "cannot open weight file: " + path);
+
+  std::vector<Weight> weights(g->num_vertices(), 0.0);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsBlankOrComment(line)) continue;
+    std::istringstream fields(line);
+    long long v = -1;
+    double w = 0.0;
+    if (!(fields >> v >> w)) {
+      return Fail(error, "malformed weight at " + path + ":" +
+                             std::to_string(line_no) + ": '" + line + "'");
+    }
+    if (v < 0 || static_cast<std::uint64_t>(v) >= g->num_vertices()) {
+      return Fail(error, "weight for out-of-range vertex at " + path + ":" +
+                             std::to_string(line_no));
+    }
+    if (w < 0.0) {
+      return Fail(error, "negative weight at " + path + ":" +
+                             std::to_string(line_no));
+    }
+    weights[static_cast<std::size_t>(v)] = w;
+  }
+  if (in.bad()) return Fail(error, "read error on " + path);
+  g->SetWeights(std::move(weights));
+  return true;
+}
+
+bool SaveWeights(const std::string& path, const Graph& g,
+                 std::string* error) {
+  if (!g.has_weights()) return Fail(error, "graph has no weights to save");
+  std::ofstream out(path);
+  if (!out) return Fail(error, "cannot open for writing: " + path);
+  out << "# ticl vertex weights\n";
+  const VertexId n = g.num_vertices();
+  char buf[64];
+  for (VertexId v = 0; v < n; ++v) {
+    std::snprintf(buf, sizeof(buf), "%u %.17g\n", v, g.weight(v));
+    out << buf;
+  }
+  out.flush();
+  if (!out) return Fail(error, "write error on " + path);
+  return true;
+}
+
+}  // namespace ticl

@@ -1,0 +1,34 @@
+// Text edge-list input/output in the SNAP convention: one `u v` pair per
+// line, `#`-prefixed comment lines ignored. Vertex weights travel in a
+// sibling text file with one `vertex weight` pair per line.
+
+#ifndef TICL_GRAPH_EDGE_LIST_IO_H_
+#define TICL_GRAPH_EDGE_LIST_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace ticl {
+
+/// Parses a SNAP-style edge list. On failure returns false and describes the
+/// problem in *error (first offending line included). Self-loops are
+/// dropped and duplicate edges merged, matching GraphBuilder semantics.
+bool LoadEdgeList(const std::string& path, Graph* out, std::string* error);
+
+/// Writes `g` as an edge list (one normalized `u v` per line, header
+/// comment with counts). Returns false on IO failure.
+bool SaveEdgeList(const std::string& path, const Graph& g,
+                  std::string* error);
+
+/// Parses `vertex weight` lines into g's weights. Vertices absent from the
+/// file default to 0. Fails on out-of-range ids or negative weights.
+bool LoadWeights(const std::string& path, Graph* g, std::string* error);
+
+/// Writes g's weights as `vertex weight` lines.
+bool SaveWeights(const std::string& path, const Graph& g,
+                 std::string* error);
+
+}  // namespace ticl
+
+#endif  // TICL_GRAPH_EDGE_LIST_IO_H_

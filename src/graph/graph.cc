@@ -1,0 +1,89 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ticl {
+
+Graph::Graph(std::vector<EdgeIndex> offsets, std::vector<VertexId> adjacency)
+    : offsets_(std::move(offsets)), adjacency_(std::move(adjacency)) {
+  TICL_CHECK(!offsets_.empty());
+  TICL_CHECK(offsets_.front() == 0);
+  TICL_CHECK(offsets_.back() == adjacency_.size());
+  const VertexId n = num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    TICL_CHECK(offsets_[v] <= offsets_[v + 1]);
+    max_degree_ = std::max(max_degree_, degree(v));
+  }
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  if (u == v) return false;
+  // Search the shorter adjacency list.
+  if (degree(u) > degree(v)) std::swap(u, v);
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+double Graph::average_degree() const {
+  const VertexId n = num_vertices();
+  if (n == 0) return 0.0;
+  return static_cast<double>(adjacency_.size()) / static_cast<double>(n);
+}
+
+void Graph::SetWeights(std::vector<Weight> weights) {
+  TICL_CHECK(weights.size() == num_vertices());
+  total_weight_ = 0.0;
+  for (const Weight w : weights) {
+    TICL_CHECK_MSG(w >= 0.0, "vertex weights must be non-negative");
+    total_weight_ += w;
+  }
+  weights_ = std::move(weights);
+}
+
+InducedSubgraph ExtractInducedSubgraph(const Graph& g,
+                                       const VertexList& members) {
+  VertexList sorted = members;
+  std::sort(sorted.begin(), sorted.end());
+  TICL_CHECK_MSG(
+      std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+      "duplicate vertex in induced-subgraph member list");
+  if (!sorted.empty()) {
+    TICL_CHECK(sorted.back() < g.num_vertices());
+  }
+
+  const auto local_n = static_cast<VertexId>(sorted.size());
+  // Map original -> local via binary search (member lists are usually tiny
+  // relative to n, so a dense map would waste O(n) per call).
+  const auto local_id = [&sorted](VertexId original) -> VertexId {
+    const auto it = std::lower_bound(sorted.begin(), sorted.end(), original);
+    if (it == sorted.end() || *it != original) return kInvalidVertex;
+    return static_cast<VertexId>(it - sorted.begin());
+  };
+
+  std::vector<EdgeIndex> offsets(static_cast<std::size_t>(local_n) + 1, 0);
+  std::vector<VertexId> adjacency;
+  for (VertexId lv = 0; lv < local_n; ++lv) {
+    const VertexId original = sorted[lv];
+    for (const VertexId nbr : g.neighbors(original)) {
+      const VertexId lnbr = local_id(nbr);
+      if (lnbr != kInvalidVertex) adjacency.push_back(lnbr);
+    }
+    offsets[lv + 1] = adjacency.size();
+  }
+
+  InducedSubgraph out;
+  out.graph = Graph(std::move(offsets), std::move(adjacency));
+  out.to_original = std::move(sorted);
+  if (g.has_weights()) {
+    std::vector<Weight> weights(local_n);
+    for (VertexId lv = 0; lv < local_n; ++lv) {
+      weights[lv] = g.weight(out.to_original[lv]);
+    }
+    out.graph.SetWeights(std::move(weights));
+  }
+  return out;
+}
+
+}  // namespace ticl

@@ -1,0 +1,101 @@
+// Immutable vertex-weighted undirected graph in CSR (compressed sparse row)
+// form. This is the substrate every algorithm in the library operates on.
+
+#ifndef TICL_GRAPH_GRAPH_H_
+#define TICL_GRAPH_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace ticl {
+
+/// Undirected, vertex-weighted graph.
+///
+/// The adjacency structure is immutable after construction (solvers never
+/// mutate the graph; deletions are simulated with membership masks).
+/// Vertex weights are assigned after construction — weighting schemes such
+/// as PageRank need the finished topology first — via SetWeights().
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds from CSR arrays. offsets has n+1 entries; adjacency holds the
+  /// neighbour lists back to back, each sorted ascending, no self-loops, no
+  /// duplicates, and (u,v) present iff (v,u) is. Use GraphBuilder instead of
+  /// calling this directly.
+  Graph(std::vector<EdgeIndex> offsets, std::vector<VertexId> adjacency);
+
+  /// Number of vertices.
+  VertexId num_vertices() const {
+    return static_cast<VertexId>(offsets_.empty() ? 0 : offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges.
+  std::uint64_t num_edges() const { return adjacency_.size() / 2; }
+
+  /// Degree of v.
+  VertexId degree(VertexId v) const {
+    return static_cast<VertexId>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Neighbours of v, sorted ascending.
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return std::span<const VertexId>(adjacency_.data() + offsets_[v],
+                                     offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// True if edge {u, v} exists (binary search over the shorter list).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Maximum degree over all vertices (0 for the empty graph).
+  VertexId max_degree() const { return max_degree_; }
+
+  /// Average degree 2m/n (0 for the empty graph).
+  double average_degree() const;
+
+  // -- Vertex weights ------------------------------------------------------
+
+  /// Assigns one non-negative weight per vertex. Must match num_vertices().
+  void SetWeights(std::vector<Weight> weights);
+
+  /// True once SetWeights has been called.
+  bool has_weights() const { return !weights_.empty(); }
+
+  Weight weight(VertexId v) const { return weights_[v]; }
+
+  const std::vector<Weight>& weights() const { return weights_; }
+
+  /// Sum of all vertex weights (cached by SetWeights).
+  Weight total_weight() const { return total_weight_; }
+
+  // -- Raw CSR access (read-only, for tight loops) --------------------------
+
+  const std::vector<EdgeIndex>& offsets() const { return offsets_; }
+  const std::vector<VertexId>& adjacency() const { return adjacency_; }
+
+ private:
+  std::vector<EdgeIndex> offsets_;
+  std::vector<VertexId> adjacency_;
+  std::vector<Weight> weights_;
+  Weight total_weight_ = 0.0;
+  VertexId max_degree_ = 0;
+};
+
+/// Result of ExtractInducedSubgraph: the subgraph plus the id mappings.
+struct InducedSubgraph {
+  Graph graph;
+  /// local id -> original id (size = members.size()).
+  VertexList to_original;
+};
+
+/// Builds the subgraph induced by `members` (original ids, any order,
+/// duplicates rejected). Weights are carried over when present. Local ids
+/// follow the sorted order of `members`.
+InducedSubgraph ExtractInducedSubgraph(const Graph& g,
+                                       const VertexList& members);
+
+}  // namespace ticl
+
+#endif  // TICL_GRAPH_GRAPH_H_

@@ -1,0 +1,69 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ticl {
+
+void GraphBuilder::SetNumVertices(VertexId n) {
+  fixed_n_ = n;
+  has_fixed_n_ = true;
+}
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  if (u == v) return;  // simple graph: ignore self-loops
+  if (u > v) std::swap(u, v);
+  edges_.push_back(Edge{u, v});
+  max_seen_id_ = std::max(max_seen_id_, v);
+  saw_vertex_ = true;
+}
+
+Graph GraphBuilder::Build() {
+  VertexId n = 0;
+  if (has_fixed_n_) {
+    n = fixed_n_;
+    TICL_CHECK_MSG(!saw_vertex_ || max_seen_id_ < n,
+                   "edge endpoint exceeds declared vertex count");
+  } else if (saw_vertex_) {
+    n = max_seen_id_ + 1;
+  }
+
+  // Dedup normalized edges.
+  std::sort(edges_.begin(), edges_.end(),
+            [](const Edge& a, const Edge& b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  // Counting sort into CSR, both directions.
+  std::vector<EdgeIndex> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (const Edge& e : edges_) {
+    ++offsets[e.u + 1];
+    ++offsets[e.v + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<VertexId> adjacency(edges_.size() * 2);
+  std::vector<EdgeIndex> cursor(offsets.begin(), offsets.end() - 1);
+  for (const Edge& e : edges_) {
+    adjacency[cursor[e.u]++] = e.v;
+    adjacency[cursor[e.v]++] = e.u;
+  }
+  // Neighbour lists must be sorted for HasEdge's binary search. Each list
+  // received its entries in increasing order of the *other* endpoint only
+  // for the u side; sort every list to be safe.
+  for (VertexId v = 0; v < n; ++v) {
+    std::sort(adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[v]),
+              adjacency.begin() + static_cast<std::ptrdiff_t>(offsets[v + 1]));
+  }
+
+  edges_.clear();
+  saw_vertex_ = false;
+  max_seen_id_ = 0;
+  has_fixed_n_ = false;
+  fixed_n_ = 0;
+  return Graph(std::move(offsets), std::move(adjacency));
+}
+
+}  // namespace ticl

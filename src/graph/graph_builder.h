@@ -1,0 +1,44 @@
+// Incremental construction of Graph objects from raw edges.
+
+#ifndef TICL_GRAPH_GRAPH_BUILDER_H_
+#define TICL_GRAPH_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace ticl {
+
+/// Collects edges (any order, duplicates and self-loops tolerated) and
+/// normalizes them into a CSR Graph. Vertex count is max-id + 1 unless fixed
+/// with SetNumVertices.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Pre-declares the vertex count (ids >= n are rejected by Build).
+  /// Isolated vertices up to n-1 are preserved.
+  void SetNumVertices(VertexId n);
+
+  /// Adds an undirected edge. Self-loops are dropped silently (the k-core
+  /// model is simple-graph based); duplicates are merged at Build time.
+  void AddEdge(VertexId u, VertexId v);
+
+  /// Number of edge insertions so far (before dedup).
+  std::size_t num_added_edges() const { return edges_.size(); }
+
+  /// Normalizes and produces the graph. The builder is left empty.
+  Graph Build();
+
+ private:
+  std::vector<Edge> edges_;
+  VertexId fixed_n_ = 0;
+  bool has_fixed_n_ = false;
+  VertexId max_seen_id_ = 0;
+  bool saw_vertex_ = false;
+};
+
+}  // namespace ticl
+
+#endif  // TICL_GRAPH_GRAPH_BUILDER_H_

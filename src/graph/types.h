@@ -1,0 +1,38 @@
+// Fundamental graph scalar types shared by every layer.
+
+#ifndef TICL_GRAPH_TYPES_H_
+#define TICL_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace ticl {
+
+/// Vertex identifier. 32 bits covers every dataset in the paper's class of
+/// laptop-scale stand-ins while halving adjacency memory vs 64-bit ids.
+using VertexId = std::uint32_t;
+
+/// Index into the CSR adjacency array (2 * undirected edge count entries).
+using EdgeIndex = std::uint64_t;
+
+/// Vertex influence weight (PageRank value, citation index, ...).
+using Weight = double;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+
+/// An undirected edge as an unordered pair (stored u < v after
+/// normalization).
+struct Edge {
+  VertexId u;
+  VertexId v;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+using VertexList = std::vector<VertexId>;
+
+}  // namespace ticl
+
+#endif  // TICL_GRAPH_TYPES_H_

@@ -1,0 +1,41 @@
+// Lightweight runtime checks used across the library.
+//
+// TICL_CHECK is active in all build types: substrate invariants (CSR
+// consistency, peel bookkeeping) are cheap relative to the graph work they
+// guard and catching a violated invariant beats silently returning a wrong
+// community. TICL_DCHECK compiles out of release builds and is meant for
+// per-edge / per-vertex hot-loop assertions.
+
+#ifndef TICL_UTIL_CHECK_H_
+#define TICL_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define TICL_CHECK(cond)                                                    \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "TICL_CHECK failed at %s:%d: %s\n", __FILE__,    \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define TICL_CHECK_MSG(cond, msg)                                           \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "TICL_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define TICL_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define TICL_DCHECK(cond) TICL_CHECK(cond)
+#endif
+
+#endif  // TICL_UTIL_CHECK_H_

@@ -1,0 +1,102 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace ticl {
+
+namespace {
+
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t HashU64(std::uint64_t x) {
+  std::uint64_t state = x;
+  return SplitMix64(&state);
+}
+
+std::uint64_t HashVertexSet(const std::uint32_t* ids, std::size_t n) {
+  // Sum + xor of per-element hashes: commutative, so insertion order does
+  // not matter; mixing both accumulators keeps collisions rare.
+  std::uint64_t sum = 0x12345678abcdef01ULL;
+  std::uint64_t xor_acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t h = HashU64(static_cast<std::uint64_t>(ids[i]) + 1);
+    sum += h;
+    xor_acc ^= Rotl(h, 17);
+  }
+  return HashU64(sum ^ Rotl(xor_acc, 29) ^ n);
+}
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::NextBounded(std::uint64_t bound) {
+  TICL_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t v = Next();
+    if (v >= threshold) return v % bound;
+  }
+}
+
+std::int64_t Rng::NextInRange(std::int64_t lo, std::int64_t hi) {
+  TICL_CHECK(lo <= hi);
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(Next());
+  }
+  return lo + static_cast<std::int64_t>(NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::NextGaussian() {
+  // Box–Muller; u1 nudged away from zero so log() is finite.
+  double u1 = NextDouble();
+  const double u2 = NextDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  return radius * std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+Rng Rng::Fork(std::uint64_t stream_id) const {
+  return Rng(HashU64(seed_ ^ Rotl(stream_id, 32) ^ 0x5bd1e995c6b3a1f7ULL));
+}
+
+}  // namespace ticl

@@ -1,0 +1,70 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace ticl {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::min() const { return count_ ? min_ : 0.0; }
+double RunningStats::max() const { return count_ ? max_ : 0.0; }
+double RunningStats::mean() const { return mean_; }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Percentile(std::vector<double> values, double q) {
+  TICL_CHECK(!values.empty());
+  TICL_CHECK(q >= 0.0 && q <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double rank = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+std::string FormatWithCommas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t first_group = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - first_group) % 3 == 0 && i >= first_group) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[64];
+  if (seconds < 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.1f us", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  }
+  return buf;
+}
+
+}  // namespace ticl

@@ -1,0 +1,46 @@
+// Small numeric-summary helpers shared by graph statistics, generators and
+// the benchmark harness.
+
+#ifndef TICL_UTIL_STATS_H_
+#define TICL_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ticl {
+
+/// Streaming accumulator for min / max / mean / variance (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  std::size_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Population variance; 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Exact percentile of a sample (nearest-rank). q in [0, 1].
+double Percentile(std::vector<double> values, double q);
+
+/// Formats a count with thousands separators, e.g. 1049866 -> "1,049,866".
+std::string FormatWithCommas(std::uint64_t value);
+
+/// Formats seconds as an engineering-style string ("12.3 ms", "4.56 s").
+std::string FormatSeconds(double seconds);
+
+}  // namespace ticl
+
+#endif  // TICL_UTIL_STATS_H_

@@ -1,0 +1,14 @@
+#include "util/timing.h"
+
+namespace ticl {
+
+void WallTimer::Restart() { start_ = std::chrono::steady_clock::now(); }
+
+double WallTimer::ElapsedSeconds() const {
+  const auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now - start_).count();
+}
+
+double WallTimer::ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+}  // namespace ticl

@@ -1,0 +1,30 @@
+// Wall-clock timing helpers used by solvers (per-query stats) and benches.
+
+#ifndef TICL_UTIL_TIMING_H_
+#define TICL_UTIL_TIMING_H_
+
+#include <chrono>
+
+namespace ticl {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart();
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const;
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ticl
+
+#endif  // TICL_UTIL_TIMING_H_

@@ -1,0 +1,125 @@
+#include "algo/connectivity.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.h"
+
+namespace ticl {
+namespace {
+
+using testing::Members;
+using testing::PathGraph;
+using testing::TwoTrianglesAndK4;
+
+TEST(ConnectedComponentsTest, FixtureHasTwoComponents) {
+  const Graph g = TwoTrianglesAndK4();
+  const ComponentLabels labels = ConnectedComponents(g);
+  EXPECT_EQ(labels.num_components, 2u);
+  EXPECT_EQ(labels.label[0], labels.label[5]);
+  EXPECT_EQ(labels.label[6], labels.label[9]);
+  EXPECT_NE(labels.label[0], labels.label[6]);
+}
+
+TEST(ConnectedComponentsTest, IsolatedVerticesAreSingletons) {
+  GraphBuilder b;
+  b.SetNumVertices(4);
+  b.AddEdge(0, 1);
+  const Graph g = b.Build();
+  const ComponentLabels labels = ConnectedComponents(g);
+  EXPECT_EQ(labels.num_components, 3u);
+}
+
+TEST(ConnectedComponentsTest, EmptyGraph) {
+  const Graph g;
+  const ComponentLabels labels = ConnectedComponents(g);
+  EXPECT_EQ(labels.num_components, 0u);
+  EXPECT_TRUE(labels.label.empty());
+}
+
+TEST(ComponentsOfSubsetTest, SplitsBridgelessSubset) {
+  const Graph g = TwoTrianglesAndK4();
+  // Dropping the bridge endpoints splits {0,1} from {4,5}.
+  const auto components = ComponentsOfSubset(g, Members({0, 1, 4, 5}));
+  ASSERT_EQ(components.size(), 2u);
+  EXPECT_EQ(components[0], Members({0, 1}));
+  EXPECT_EQ(components[1], Members({4, 5}));
+}
+
+TEST(ComponentsOfSubsetTest, WholeComponentStaysTogether) {
+  const Graph g = TwoTrianglesAndK4();
+  const auto components =
+      ComponentsOfSubset(g, Members({0, 1, 2, 3, 4, 5}));
+  ASSERT_EQ(components.size(), 1u);
+  EXPECT_EQ(components[0].size(), 6u);
+}
+
+TEST(ComponentsOfSubsetTest, EmptySubset) {
+  const Graph g = TwoTrianglesAndK4();
+  EXPECT_TRUE(ComponentsOfSubset(g, {}).empty());
+}
+
+TEST(ComponentsOfSubsetTest, SingletonsWithoutEdges) {
+  const Graph g = TwoTrianglesAndK4();
+  const auto components = ComponentsOfSubset(g, Members({0, 9}));
+  EXPECT_EQ(components.size(), 2u);
+}
+
+TEST(IsSubsetConnectedTest, Cases) {
+  const Graph g = TwoTrianglesAndK4();
+  EXPECT_TRUE(IsSubsetConnected(g, Members({0, 1, 2})));
+  EXPECT_TRUE(IsSubsetConnected(g, Members({2, 3})));       // bridge
+  EXPECT_FALSE(IsSubsetConnected(g, Members({0, 1, 4})));   // gap
+  EXPECT_FALSE(IsSubsetConnected(g, Members({0, 6})));      // components
+  EXPECT_TRUE(IsSubsetConnected(g, Members({7})));          // singleton
+  EXPECT_TRUE(IsSubsetConnected(g, {}));                    // empty
+}
+
+TEST(CollectNearestNeighborsTest, LimitRespectedAndSeedFirst) {
+  const Graph g = TwoTrianglesAndK4();
+  const auto all = [](VertexId) { return true; };
+  const VertexList got = CollectNearestNeighbors(g, 6, 3, all);
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], 6u);
+  // Neighbours visited in ascending adjacency order.
+  EXPECT_EQ(got[1], 7u);
+  EXPECT_EQ(got[2], 8u);
+}
+
+TEST(CollectNearestNeighborsTest, ExpandsToTwoHops) {
+  const Graph g = PathGraph(6);  // 0-1-2-3-4-5
+  const auto all = [](VertexId) { return true; };
+  const VertexList got = CollectNearestNeighbors(g, 0, 4, all);
+  EXPECT_EQ(got, Members({0, 1, 2, 3}));
+}
+
+TEST(CollectNearestNeighborsTest, BfsOrderIsDistanceOrder) {
+  const Graph g = TwoTrianglesAndK4();
+  const auto all = [](VertexId) { return true; };
+  // From vertex 0: 1-hop = {1, 2}; 2-hop adds 3 (via 2); 3-hop adds 4, 5.
+  const VertexList got = CollectNearestNeighbors(g, 0, 6, all);
+  EXPECT_EQ(got, Members({0, 1, 2, 3, 4, 5}));
+}
+
+TEST(CollectNearestNeighborsTest, FilterBlocksExpansion) {
+  const Graph g = PathGraph(6);
+  const auto not_two = [](VertexId v) { return v != 2; };
+  // Vertex 2 blocked: BFS from 0 cannot pass it.
+  const VertexList got = CollectNearestNeighbors(g, 0, 6, not_two);
+  EXPECT_EQ(got, Members({0, 1}));
+}
+
+TEST(CollectNearestNeighborsTest, ComponentBoundary) {
+  const Graph g = TwoTrianglesAndK4();
+  const auto all = [](VertexId) { return true; };
+  const VertexList got = CollectNearestNeighbors(g, 6, 10, all);
+  EXPECT_EQ(got.size(), 4u);  // K4 only
+}
+
+TEST(CollectNearestNeighborsTest, ZeroLimitEmpty) {
+  const Graph g = PathGraph(3);
+  const auto all = [](VertexId) { return true; };
+  EXPECT_TRUE(CollectNearestNeighbors(g, 0, 0, all).empty());
+}
+
+}  // namespace
+}  // namespace ticl

@@ -1,0 +1,76 @@
+#include "algo/eigenvector.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.h"
+
+namespace ticl {
+namespace {
+
+using testing::CompleteGraph;
+using testing::CycleGraph;
+using testing::PathGraph;
+using testing::StarGraph;
+
+TEST(EigenvectorTest, RegularGraphIsUniform) {
+  const auto result = ComputeEigenvectorCentrality(CycleGraph(9));
+  for (const double score : result.scores) EXPECT_NEAR(score, 1.0, 1e-9);
+  EXPECT_NEAR(result.eigenvalue, 2.0, 1e-9);  // 2-regular
+}
+
+TEST(EigenvectorTest, CompleteGraphEigenvalue) {
+  const auto result = ComputeEigenvectorCentrality(CompleteGraph(6));
+  EXPECT_NEAR(result.eigenvalue, 5.0, 1e-9);  // K_n has lambda = n-1
+  for (const double score : result.scores) EXPECT_NEAR(score, 1.0, 1e-9);
+}
+
+TEST(EigenvectorTest, StarCenterDominates) {
+  const auto result = ComputeEigenvectorCentrality(StarGraph(8));
+  EXPECT_NEAR(result.scores[0], 1.0, 1e-12);  // center is max-normalized 1
+  for (VertexId leaf = 1; leaf <= 8; ++leaf) {
+    // Star eigenvector: leaf = center / sqrt(L).
+    EXPECT_NEAR(result.scores[leaf], 1.0 / std::sqrt(8.0), 1e-9);
+  }
+  EXPECT_NEAR(result.eigenvalue, std::sqrt(8.0), 1e-9);
+}
+
+TEST(EigenvectorTest, PathEndpointsScoreLowest) {
+  const auto result = ComputeEigenvectorCentrality(PathGraph(5));
+  EXPECT_LT(result.scores[0], result.scores[1]);
+  EXPECT_LT(result.scores[1], result.scores[2]);
+  EXPECT_NEAR(result.scores[0], result.scores[4], 1e-9);  // symmetry
+}
+
+TEST(EigenvectorTest, IsolatedVerticesScoreZero) {
+  GraphBuilder b;
+  b.SetNumVertices(4);
+  b.AddEdge(0, 1);
+  const auto result = ComputeEigenvectorCentrality(b.Build());
+  EXPECT_NEAR(result.scores[0], 1.0, 1e-9);
+  EXPECT_NEAR(result.scores[2], 0.0, 1e-9);
+  EXPECT_NEAR(result.scores[3], 0.0, 1e-9);
+}
+
+TEST(EigenvectorTest, EmptyAndEdgelessGraphs) {
+  EXPECT_TRUE(ComputeEigenvectorCentrality(Graph()).scores.empty());
+  GraphBuilder b;
+  b.SetNumVertices(3);
+  const auto result = ComputeEigenvectorCentrality(b.Build());
+  for (const double score : result.scores) EXPECT_EQ(score, 0.0);
+}
+
+TEST(EigenvectorTest, ScoresNonNegativeAndUnitMax) {
+  const auto result =
+      ComputeEigenvectorCentrality(testing::TwoTrianglesAndK4());
+  double max_score = 0.0;
+  for (const double score : result.scores) {
+    EXPECT_GE(score, 0.0);
+    max_score = std::max(max_score, score);
+  }
+  EXPECT_NEAR(max_score, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ticl

@@ -1,0 +1,111 @@
+#include "algo/pagerank.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.h"
+
+namespace ticl {
+namespace {
+
+using testing::CompleteGraph;
+using testing::CycleGraph;
+using testing::StarGraph;
+
+double Sum(const std::vector<double>& v) {
+  return std::accumulate(v.begin(), v.end(), 0.0);
+}
+
+TEST(PageRankTest, ScoresSumToOne) {
+  const Graph g = StarGraph(9);
+  const auto pr = ComputePageRank(g);
+  EXPECT_NEAR(Sum(pr.scores), 1.0, 1e-9);
+}
+
+TEST(PageRankTest, RegularGraphIsUniform) {
+  const Graph g = CycleGraph(8);
+  const auto pr = ComputePageRank(g);
+  for (const double score : pr.scores) EXPECT_NEAR(score, 0.125, 1e-9);
+}
+
+TEST(PageRankTest, CompleteGraphIsUniform) {
+  const Graph g = CompleteGraph(5);
+  const auto pr = ComputePageRank(g);
+  for (const double score : pr.scores) EXPECT_NEAR(score, 0.2, 1e-9);
+}
+
+TEST(PageRankTest, StarCenterDominates) {
+  const Graph g = StarGraph(6);
+  const auto pr = ComputePageRank(g);
+  for (VertexId leaf = 1; leaf <= 6; ++leaf) {
+    EXPECT_GT(pr.scores[0], pr.scores[leaf]);
+    EXPECT_NEAR(pr.scores[1], pr.scores[leaf], 1e-12);  // leaves symmetric
+  }
+}
+
+TEST(PageRankTest, StarClosedForm) {
+  // Undirected star, damping d: center = (1-d)/n + d * sum(leaf),
+  // leaf = (1-d)/n + d * center / L with L leaves.
+  const int kLeaves = 4;
+  const Graph g = StarGraph(kLeaves);
+  const auto pr = ComputePageRank(g, {0.85, 500, 1e-15});
+  const double n = 5.0;
+  const double d = 0.85;
+  // Solve the 2-variable fixpoint directly.
+  // center = (1-d)/n + d * L * leaf_share where leaf_share = leaf / 1
+  // leaf = (1-d)/n + d * center / L
+  // => center = (1-d)/n + d*L*((1-d)/n + d*center/L)
+  //           = (1-d)/n * (1 + d*L) / (1 - d^2)
+  const double center =
+      (1.0 - d) / n * (1.0 + d * kLeaves) / (1.0 - d * d);
+  const double leaf = (1.0 - d) / n + d * center / kLeaves;
+  EXPECT_NEAR(pr.scores[0], center, 1e-9);
+  EXPECT_NEAR(pr.scores[1], leaf, 1e-9);
+}
+
+TEST(PageRankTest, DanglingVerticesHandled) {
+  GraphBuilder b;
+  b.SetNumVertices(4);
+  b.AddEdge(0, 1);
+  const Graph g = b.Build();  // 2 and 3 isolated
+  const auto pr = ComputePageRank(g);
+  EXPECT_NEAR(Sum(pr.scores), 1.0, 1e-9);
+  EXPECT_GT(pr.scores[0], pr.scores[2]);
+  EXPECT_NEAR(pr.scores[2], pr.scores[3], 1e-12);
+}
+
+TEST(PageRankTest, ZeroDampingIsUniform) {
+  const Graph g = StarGraph(5);
+  const auto pr = ComputePageRank(g, {0.0, 10, 1e-12});
+  for (const double score : pr.scores) EXPECT_NEAR(score, 1.0 / 6, 1e-12);
+}
+
+TEST(PageRankTest, ConvergesBeforeIterationCap) {
+  const Graph g = CycleGraph(10);
+  const auto pr = ComputePageRank(g, {0.85, 100, 1e-10});
+  EXPECT_LT(pr.iterations, 100);
+  EXPECT_LT(pr.final_delta, 1e-10);
+}
+
+TEST(PageRankTest, IterationCapRespected) {
+  const Graph g = StarGraph(50);
+  const auto pr = ComputePageRank(g, {0.85, 3, 0.0});
+  EXPECT_EQ(pr.iterations, 3);
+}
+
+TEST(PageRankTest, EmptyGraph) {
+  const auto pr = ComputePageRank(Graph());
+  EXPECT_TRUE(pr.scores.empty());
+}
+
+TEST(PageRankTest, HigherDegreeHigherRankOnFixture) {
+  const Graph g = testing::TwoTrianglesAndK4();
+  const auto pr = ComputePageRank(g);
+  // Bridge endpoints (degree 3) outrank their degree-2 triangle peers.
+  EXPECT_GT(pr.scores[2], pr.scores[0]);
+  EXPECT_GT(pr.scores[3], pr.scores[4]);
+}
+
+}  // namespace
+}  // namespace ticl

@@ -1,0 +1,168 @@
+#include "algo/truss_decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/erdos_renyi.h"
+#include "testing/builders.h"
+
+namespace ticl {
+namespace {
+
+using testing::CompleteGraph;
+using testing::CycleGraph;
+using testing::Members;
+using testing::PathGraph;
+using testing::TwoTrianglesAndK4;
+
+VertexId TrussOf(const TrussDecompositionResult& d, VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  for (std::size_t e = 0; e < d.edges.size(); ++e) {
+    if (d.edges[e].u == u && d.edges[e].v == v) return d.truss[e];
+  }
+  ADD_FAILURE() << "edge " << u << "-" << v << " not found";
+  return 0;
+}
+
+TEST(TrussDecompositionTest, TriangleFreeGraphsAreTwoTrusses) {
+  for (const Graph& g : {PathGraph(6), CycleGraph(8)}) {
+    const auto d = TrussDecomposition(g);
+    for (const VertexId t : d.truss) EXPECT_EQ(t, 2u);
+    EXPECT_EQ(d.max_truss, 2u);
+  }
+}
+
+TEST(TrussDecompositionTest, CompleteGraphTruss) {
+  // Every edge of K_n is in n-2 triangles: truss number n.
+  for (const VertexId n : {3u, 4u, 5u, 6u}) {
+    const auto d = TrussDecomposition(CompleteGraph(n));
+    ASSERT_EQ(d.edges.size(), static_cast<std::size_t>(n) * (n - 1) / 2);
+    for (const VertexId t : d.truss) EXPECT_EQ(t, n);
+    EXPECT_EQ(d.max_truss, n);
+  }
+}
+
+TEST(TrussDecompositionTest, EmptyAndEdgelessGraphs) {
+  EXPECT_EQ(TrussDecomposition(Graph()).max_truss, 0u);
+  GraphBuilder b;
+  b.SetNumVertices(4);
+  EXPECT_EQ(TrussDecomposition(b.Build()).max_truss, 0u);
+}
+
+TEST(TrussDecompositionTest, TwoTrianglesSharingAnEdge) {
+  // {0,1,2} and {1,2,3} share edge 1-2: all five edges form a 3-truss.
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  b.AddEdge(1, 2);
+  b.AddEdge(1, 3);
+  b.AddEdge(2, 3);
+  const auto d = TrussDecomposition(b.Build());
+  for (const VertexId t : d.truss) EXPECT_EQ(t, 3u);
+}
+
+TEST(TrussDecompositionTest, FixtureTrussNumbers) {
+  const Graph g = TwoTrianglesAndK4();
+  const auto d = TrussDecomposition(g);
+  // Triangles: truss 3. Bridge 2-3: no triangle, truss 2. K4: truss 4.
+  EXPECT_EQ(TrussOf(d, 0, 1), 3u);
+  EXPECT_EQ(TrussOf(d, 3, 4), 3u);
+  EXPECT_EQ(TrussOf(d, 2, 3), 2u);
+  EXPECT_EQ(TrussOf(d, 6, 7), 4u);
+  EXPECT_EQ(TrussOf(d, 8, 9), 4u);
+  EXPECT_EQ(d.max_truss, 4u);
+}
+
+TEST(MaximalKTrussTest, FixtureLevels) {
+  const Graph g = TwoTrianglesAndK4();
+  EXPECT_EQ(MaximalKTruss(g, 2).size(), 10u);
+  EXPECT_EQ(MaximalKTruss(g, 3).size(), 10u);  // both triangles + K4
+  EXPECT_EQ(MaximalKTruss(g, 4), Members({6, 7, 8, 9}));
+  EXPECT_TRUE(MaximalKTruss(g, 5).empty());
+}
+
+TEST(KTrussComponentsTest, BridgeDoesNotJoinTrussComponents) {
+  const Graph g = TwoTrianglesAndK4();
+  // At k = 3 the bridge edge (truss 2) is excluded, so the two triangles
+  // are separate components even though they touch via the bridge.
+  const auto components = KTrussComponents(g, 3);
+  ASSERT_EQ(components.size(), 3u);
+  EXPECT_EQ(components[0], Members({0, 1, 2}));
+  EXPECT_EQ(components[1], Members({3, 4, 5}));
+  EXPECT_EQ(components[2], Members({6, 7, 8, 9}));
+}
+
+TEST(TrussCorePropertyTest, KTrussIsInsideKMinusOneCore) {
+  // Classic containment: a k-truss is a (k-1)-core.
+  const Graph g = GenerateErdosRenyi(150, 700, 5);
+  for (const VertexId k : {3u, 4u, 5u}) {
+    const VertexList truss = MaximalKTruss(g, k);
+    std::vector<std::uint8_t> in_truss(g.num_vertices(), 0);
+    for (const VertexId v : truss) in_truss[v] = 1;
+    // Each truss vertex has >= k-1 neighbours inside the truss.
+    for (const VertexId v : truss) {
+      VertexId deg = 0;
+      for (const VertexId nbr : g.neighbors(v)) deg += in_truss[nbr];
+      EXPECT_GE(deg, k - 1) << "k=" << k << " v=" << v;
+    }
+  }
+}
+
+class TrussPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrussPropertyTest, TrussSubgraphSupportsVerify) {
+  // Definition check: within the edges of truss >= k, every edge must lie
+  // in >= k - 2 triangles formed by such edges.
+  const Graph g = GenerateErdosRenyi(100, 500, GetParam());
+  const auto d = TrussDecomposition(g);
+  for (const VertexId k : {3u, 4u}) {
+    // Adjacency restricted to truss->=k edges.
+    std::vector<std::vector<VertexId>> truss_adj(g.num_vertices());
+    for (std::size_t e = 0; e < d.edges.size(); ++e) {
+      if (d.truss[e] >= k) {
+        truss_adj[d.edges[e].u].push_back(d.edges[e].v);
+        truss_adj[d.edges[e].v].push_back(d.edges[e].u);
+      }
+    }
+    for (auto& adj : truss_adj) std::sort(adj.begin(), adj.end());
+    for (std::size_t e = 0; e < d.edges.size(); ++e) {
+      if (d.truss[e] < k) continue;
+      const VertexId u = d.edges[e].u;
+      const VertexId v = d.edges[e].v;
+      VertexId common = 0;
+      for (const VertexId w : truss_adj[u]) {
+        if (std::binary_search(truss_adj[v].begin(), truss_adj[v].end(),
+                               w)) {
+          ++common;
+        }
+      }
+      EXPECT_GE(common + 2, k) << "edge " << u << "-" << v << " k=" << k;
+    }
+  }
+}
+
+TEST_P(TrussPropertyTest, ValidatorAcceptsTrussComponents) {
+  const Graph g = GenerateErdosRenyi(120, 550, GetParam() + 100);
+  for (const VertexId k : {3u, 4u}) {
+    for (const VertexList& component : KTrussComponents(g, k)) {
+      EXPECT_EQ(ValidateKTrussSubgraph(g, component, k), "")
+          << "k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrussPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(ValidateKTrussSubgraphTest, RejectsBadSets) {
+  const Graph g = TwoTrianglesAndK4();
+  EXPECT_NE(ValidateKTrussSubgraph(g, Members({0}), 3), "");       // no edge
+  EXPECT_NE(ValidateKTrussSubgraph(g, Members({0, 1, 2, 3}), 3),
+            "");  // vertex 3 only reaches the triangle via a truss-2 bridge
+  EXPECT_NE(ValidateKTrussSubgraph(g, Members({0, 1, 2, 6, 7, 8}), 3),
+            "");  // disconnected
+  EXPECT_EQ(ValidateKTrussSubgraph(g, Members({0, 1, 2}), 3), "");
+  EXPECT_EQ(ValidateKTrussSubgraph(g, Members({6, 7, 8, 9}), 4), "");
+}
+
+}  // namespace
+}  // namespace ticl

@@ -1,0 +1,64 @@
+#include "algo/union_find.h"
+
+#include <gtest/gtest.h>
+
+namespace ticl {
+namespace {
+
+TEST(UnionFindTest, InitiallyAllSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5u);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_EQ(uf.Find(v), v);
+    EXPECT_EQ(uf.SetSize(v), 1u);
+  }
+}
+
+TEST(UnionFindTest, UnionMerges) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.num_sets(), 3u);
+  EXPECT_EQ(uf.SetSize(0), 2u);
+}
+
+TEST(UnionFindTest, RedundantUnionReturnsFalse) {
+  UnionFind uf(3);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_EQ(uf.num_sets(), 2u);
+}
+
+TEST(UnionFindTest, TransitiveConnectivity) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  uf.Union(1, 2);
+  EXPECT_TRUE(uf.Connected(0, 3));
+  EXPECT_EQ(uf.SetSize(3), 4u);
+  EXPECT_FALSE(uf.Connected(0, 4));
+}
+
+TEST(UnionFindTest, ChainCollapsesToOneSet) {
+  const VertexId n = 1000;
+  UnionFind uf(n);
+  for (VertexId v = 0; v + 1 < n; ++v) uf.Union(v, v + 1);
+  EXPECT_EQ(uf.num_sets(), 1u);
+  EXPECT_EQ(uf.SetSize(0), n);
+  EXPECT_EQ(uf.Find(0), uf.Find(n - 1));
+}
+
+TEST(UnionFindTest, RepresentativeIsStableWithinSet) {
+  UnionFind uf(5);
+  uf.Union(0, 1);
+  uf.Union(3, 4);
+  const VertexId rep_a = uf.Find(0);
+  EXPECT_EQ(uf.Find(1), rep_a);
+  const VertexId rep_b = uf.Find(3);
+  EXPECT_EQ(uf.Find(4), rep_b);
+  EXPECT_NE(rep_a, rep_b);
+}
+
+}  // namespace
+}  // namespace ticl

@@ -1,0 +1,105 @@
+#include "algo/weights.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/pagerank.h"
+#include "testing/builders.h"
+
+namespace ticl {
+namespace {
+
+using testing::StarGraph;
+using testing::TwoTrianglesAndK4;
+
+TEST(WeightsTest, PageRankSchemeMatchesComputePageRank) {
+  Graph g = TwoTrianglesAndK4();
+  AssignWeights(&g, WeightScheme::kPageRank);
+  const auto pr = ComputePageRank(g);
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(g.weight(v), pr.scores[v]);
+  }
+}
+
+TEST(WeightsTest, DegreeSchemeNormalized) {
+  Graph g = StarGraph(4);
+  AssignWeights(&g, WeightScheme::kDegree);
+  EXPECT_DOUBLE_EQ(g.weight(0), 1.0);       // center: degree 4 / max 4
+  EXPECT_DOUBLE_EQ(g.weight(1), 0.25);      // leaf
+}
+
+TEST(WeightsTest, UniformBoundsAndDeterminism) {
+  Graph g1 = StarGraph(50);
+  Graph g2 = StarGraph(50);
+  AssignWeights(&g1, WeightScheme::kUniform, 99);
+  AssignWeights(&g2, WeightScheme::kUniform, 99);
+  for (VertexId v = 0; v < g1.num_vertices(); ++v) {
+    EXPECT_GE(g1.weight(v), 0.0);
+    EXPECT_LT(g1.weight(v), 1.0);
+    EXPECT_DOUBLE_EQ(g1.weight(v), g2.weight(v));
+  }
+}
+
+TEST(WeightsTest, UniformSeedsDiffer) {
+  Graph g1 = StarGraph(50);
+  Graph g2 = StarGraph(50);
+  AssignWeights(&g1, WeightScheme::kUniform, 1);
+  AssignWeights(&g2, WeightScheme::kUniform, 2);
+  int differences = 0;
+  for (VertexId v = 0; v < g1.num_vertices(); ++v) {
+    if (g1.weight(v) != g2.weight(v)) ++differences;
+  }
+  EXPECT_GT(differences, 40);
+}
+
+TEST(WeightsTest, LogNormalPositiveHeavyTail) {
+  Graph g = StarGraph(2000);
+  AssignWeights(&g, WeightScheme::kLogNormal, 7);
+  double max_w = 0.0;
+  double sum = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GT(g.weight(v), 0.0);
+    max_w = std::max(max_w, g.weight(v));
+    sum += g.weight(v);
+  }
+  const double mean = sum / g.num_vertices();
+  EXPECT_GT(max_w, 4.0 * mean);  // heavy tail
+}
+
+TEST(WeightsTest, SchemeNames) {
+  EXPECT_EQ(WeightSchemeName(WeightScheme::kPageRank), "pagerank");
+  EXPECT_EQ(WeightSchemeName(WeightScheme::kDegree), "degree");
+  EXPECT_EQ(WeightSchemeName(WeightScheme::kUniform), "uniform");
+  EXPECT_EQ(WeightSchemeName(WeightScheme::kLogNormal), "lognormal");
+  EXPECT_EQ(WeightSchemeName(WeightScheme::kEigenvector), "eigenvector");
+  EXPECT_EQ(WeightSchemeName(WeightScheme::kCoreNumber), "core-number");
+}
+
+TEST(WeightsTest, EigenvectorSchemeUnitMax) {
+  Graph g = TwoTrianglesAndK4();
+  AssignWeights(&g, WeightScheme::kEigenvector);
+  double max_w = 0.0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_GE(g.weight(v), 0.0);
+    max_w = std::max(max_w, g.weight(v));
+  }
+  EXPECT_NEAR(max_w, 1.0, 1e-12);
+  // K4 members dominate the looser triangles spectrally.
+  EXPECT_GT(g.weight(9), g.weight(0));
+}
+
+TEST(WeightsTest, CoreNumberSchemeNormalized) {
+  Graph g = TwoTrianglesAndK4();
+  AssignWeights(&g, WeightScheme::kCoreNumber);
+  // Fixture cores: 2 for the triangles component, 3 (degeneracy) for K4.
+  EXPECT_DOUBLE_EQ(g.weight(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(g.weight(6), 1.0);
+}
+
+TEST(WeightsTest, TotalWeightMaintained) {
+  Graph g = TwoTrianglesAndK4();
+  AssignWeights(&g, WeightScheme::kPageRank);
+  EXPECT_NEAR(g.total_weight(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace ticl

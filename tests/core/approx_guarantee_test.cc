@@ -1,0 +1,76 @@
+// Theorem 6 property test: for every epsilon, the Approx configuration's
+// r-th influence value is at least (1 - epsilon) times the exact r-th.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "algo/weights.h"
+#include "core/improved_search.h"
+#include "core/verification.h"
+#include "gen/chung_lu.h"
+
+namespace ticl {
+namespace {
+
+using ApproxParam = std::tuple<std::uint64_t, double>;  // (seed, epsilon)
+
+class ApproxGuaranteeTest : public ::testing::TestWithParam<ApproxParam> {};
+
+TEST_P(ApproxGuaranteeTest, RthValueMeetsBound) {
+  const auto [seed, epsilon] = GetParam();
+  Graph g = GenerateChungLu({200, 7.0, 2.4, seed});
+  AssignWeights(&g, WeightScheme::kUniform, seed * 3 + 1);
+
+  for (const std::uint32_t r : {1u, 5u, 10u}) {
+    Query query;
+    query.k = 2;
+    query.r = r;
+    query.aggregation = AggregationSpec::Sum();
+
+    const SearchResult exact = ImprovedSearch(g, query);  // eps = 0
+    ImprovedOptions options;
+    options.epsilon = epsilon;
+    const SearchResult approx = ImprovedSearch(g, query, options);
+
+    ASSERT_EQ(approx.communities.size(), exact.communities.size())
+        << "seed=" << seed << " eps=" << epsilon << " r=" << r;
+    EXPECT_EQ(ValidateResult(g, query, approx), "");
+    if (exact.communities.empty()) continue;
+    const double re = exact.communities.back().influence;
+    const double ra = approx.communities.back().influence;
+    EXPECT_GE(ra, (1.0 - epsilon) * re - 1e-12)
+        << "seed=" << seed << " eps=" << epsilon << " r=" << r;
+    // Approx may stop early but must never do more work.
+    EXPECT_LE(approx.stats.peel_operations, exact.stats.peel_operations);
+  }
+}
+
+TEST_P(ApproxGuaranteeTest, TopOneIsAlwaysExact) {
+  // The best k-core component is seeded into the pool and can never be
+  // evicted, so the top-1 of Approx equals the exact top-1.
+  const auto [seed, epsilon] = GetParam();
+  Graph g = GenerateChungLu({150, 6.0, 2.5, seed});
+  AssignWeights(&g, WeightScheme::kUniform, seed + 7);
+  Query query;
+  query.k = 2;
+  query.r = 6;
+  query.aggregation = AggregationSpec::Sum();
+  const SearchResult exact = ImprovedSearch(g, query);
+  ImprovedOptions options;
+  options.epsilon = epsilon;
+  const SearchResult approx = ImprovedSearch(g, query, options);
+  if (!exact.communities.empty()) {
+    ASSERT_FALSE(approx.communities.empty());
+    EXPECT_DOUBLE_EQ(approx.communities[0].influence,
+                     exact.communities[0].influence);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndEpsilons, ApproxGuaranteeTest,
+    ::testing::Combine(::testing::Values(11u, 22u, 33u, 44u, 55u),
+                       ::testing::Values(0.01, 0.05, 0.1, 0.2, 0.5)));
+
+}  // namespace
+}  // namespace ticl

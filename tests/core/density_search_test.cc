@@ -1,0 +1,119 @@
+// Local search coverage for the density aggregations (weight density and
+// balanced density) — the NP-hard Table I functions whose hardness proofs
+// the paper defers to its appendix. Both route through the prefix-testing
+// strategy (non-monotone), so these tests exercise that generic path.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "algo/weights.h"
+#include "core/exact_search.h"
+#include "core/local_search.h"
+#include "core/verification.h"
+#include "gen/chung_lu.h"
+#include "testing/builders.h"
+
+namespace ticl {
+namespace {
+
+using testing::Members;
+using testing::TwoTrianglesAndK4;
+
+Query MakeQuery(AggregationSpec spec, VertexId k, std::uint32_t r,
+                VertexId s) {
+  Query q;
+  q.k = k;
+  q.r = r;
+  q.size_limit = s;
+  q.aggregation = spec;
+  return q;
+}
+
+TEST(DensitySearchTest, WeightDensityFixtureOptimum) {
+  const Graph g = TwoTrianglesAndK4();
+  // weight-density beta=1, s=4: K4 (106-4) and {7,8,9} (105-3) tie at the
+  // exact optimum of 102; greedy local search reaches that value.
+  const Query query = MakeQuery(AggregationSpec::WeightDensity(1.0), 2, 1, 4);
+  const SearchResult heuristic = LocalSearch(g, query);
+  const SearchResult exact = ExactSearch(g, query);
+  ASSERT_FALSE(heuristic.communities.empty());
+  ASSERT_FALSE(exact.communities.empty());
+  EXPECT_DOUBLE_EQ(exact.communities[0].influence, 102.0);
+  EXPECT_DOUBLE_EQ(heuristic.communities[0].influence, 102.0);
+  const VertexList& winner = heuristic.communities[0].members;
+  EXPECT_TRUE(winner == Members({6, 7, 8, 9}) ||
+              winner == Members({7, 8, 9}));
+}
+
+TEST(DensitySearchTest, LargeBetaPrefersSmallCommunities) {
+  const Graph g = TwoTrianglesAndK4();
+  // beta = 20: every vertex must carry 20 units. K4: 106-80 = 26;
+  // {7,8,9}: 105-60 = 45; {0,1,2}: 60-60 = 0. Optimum is the triangle.
+  const Query query =
+      MakeQuery(AggregationSpec::WeightDensity(20.0), 2, 1, 10);
+  const SearchResult exact = ExactSearch(g, query);
+  ASSERT_FALSE(exact.communities.empty());
+  EXPECT_DOUBLE_EQ(exact.communities[0].influence, 45.0);
+  EXPECT_EQ(exact.communities[0].members, Members({7, 8, 9}));
+}
+
+TEST(DensitySearchTest, BalancedDensityLocalSearchValid) {
+  const Graph g = TwoTrianglesAndK4();
+  const Query query = MakeQuery(AggregationSpec::BalancedDensity(), 2, 2, 4);
+  const SearchResult result = LocalSearch(g, query);
+  EXPECT_EQ(ValidateResult(g, query, result), "");
+  for (const Community& c : result.communities) {
+    EXPECT_TRUE(std::isfinite(c.influence));  // -inf candidates rejected
+  }
+}
+
+TEST(DensitySearchTest, BalancedDensityNeverBeatsExact) {
+  const Graph g = TwoTrianglesAndK4();
+  const Query query = MakeQuery(AggregationSpec::BalancedDensity(), 2, 1, 4);
+  const SearchResult heuristic = LocalSearch(g, query);
+  const SearchResult exact = ExactSearch(g, query);
+  if (!heuristic.communities.empty()) {
+    ASSERT_FALSE(exact.communities.empty());
+    EXPECT_LE(heuristic.communities[0].influence,
+              exact.communities[0].influence + 1e-12);
+  }
+}
+
+TEST(DensitySearchTest, DensityResultsValidateOnRandomGraphs) {
+  for (const std::uint64_t seed : {3u, 5u, 7u}) {
+    Graph g = GenerateChungLu({800, 8.0, 2.4, seed});
+    AssignWeights(&g, WeightScheme::kUniform, seed + 1);
+    for (const auto spec : {AggregationSpec::WeightDensity(0.1),
+                            AggregationSpec::BalancedDensity()}) {
+      const Query query = MakeQuery(spec, 3, 4, 12);
+      for (const bool greedy : {true, false}) {
+        LocalSearchOptions options;
+        options.greedy = greedy;
+        const SearchResult result = LocalSearch(g, query, options);
+        EXPECT_EQ(ValidateResult(g, query, result), "")
+            << AggregationName(spec.kind) << " seed=" << seed
+            << " greedy=" << greedy;
+      }
+    }
+  }
+}
+
+TEST(DensitySearchTest, ZeroBetaDensityEqualsSum) {
+  // weight-density with beta = 0 degenerates to sum; the exact solver must
+  // agree with the sum solver point-for-point.
+  const Graph g = TwoTrianglesAndK4();
+  const Query density =
+      MakeQuery(AggregationSpec::WeightDensity(0.0), 2, 3, 4);
+  const Query sum = MakeQuery(AggregationSpec::Sum(), 2, 3, 4);
+  const SearchResult rd = ExactSearch(g, density);
+  const SearchResult rs = ExactSearch(g, sum);
+  ASSERT_EQ(rd.communities.size(), rs.communities.size());
+  for (std::size_t i = 0; i < rd.communities.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rd.communities[i].influence, rs.communities[i].influence);
+    EXPECT_EQ(rd.communities[i].members, rs.communities[i].members);
+  }
+}
+
+}  // namespace
+}  // namespace ticl

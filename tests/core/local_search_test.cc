@@ -1,0 +1,196 @@
+#include "core/local_search.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_search.h"
+#include "core/verification.h"
+#include "gen/planted_communities.h"
+#include "testing/builders.h"
+
+namespace ticl {
+namespace {
+
+using testing::Members;
+using testing::TwoTrianglesAndK4;
+
+Query MakeQuery(VertexId k, std::uint32_t r, VertexId s,
+                AggregationSpec spec) {
+  Query q;
+  q.k = k;
+  q.r = r;
+  q.size_limit = s;
+  q.aggregation = spec;
+  return q;
+}
+
+TEST(LocalSearchTest, FixtureSumSizeThree) {
+  // BFS neighbourhoods truncate at s = 3 in id order, so the best
+  // reachable candidate is {9, 7, 6} = 103 (seed 9's neighbourhood
+  // collects 6 and 7 before 8). The exact optimum is 105 — the heuristic
+  // gap is expected and demonstrates Remark 2.
+  const Graph g = TwoTrianglesAndK4();
+  const Query query = MakeQuery(2, 1, 3, AggregationSpec::Sum());
+  for (const bool greedy : {true, false}) {
+    LocalSearchOptions options;
+    options.greedy = greedy;
+    const SearchResult result = LocalSearch(g, query, options);
+    ASSERT_EQ(result.communities.size(), 1u) << "greedy=" << greedy;
+    EXPECT_EQ(result.communities[0].members, Members({6, 7, 9}));
+    EXPECT_DOUBLE_EQ(result.communities[0].influence, 103.0);
+    EXPECT_EQ(ValidateResult(g, query, result), "");
+  }
+}
+
+TEST(LocalSearchTest, FixtureSumSizeFourFindsK4) {
+  const Graph g = TwoTrianglesAndK4();
+  const Query query = MakeQuery(2, 2, 4, AggregationSpec::Sum());
+  const SearchResult result = LocalSearch(g, query);
+  ASSERT_GE(result.communities.size(), 1u);
+  EXPECT_EQ(result.communities[0].members, Members({6, 7, 8, 9}));
+  EXPECT_DOUBLE_EQ(result.communities[0].influence, 106.0);
+}
+
+TEST(LocalSearchTest, HeuristicNeverBeatsExact) {
+  const Graph g = TwoTrianglesAndK4();
+  for (const VertexId s : {3u, 4u, 5u}) {
+    for (const auto spec :
+         {AggregationSpec::Sum(), AggregationSpec::Avg()}) {
+      const Query query = MakeQuery(2, 1, s, spec);
+      const SearchResult heuristic = LocalSearch(g, query);
+      const SearchResult exact = ExactSearch(g, query);
+      if (heuristic.communities.empty()) continue;
+      ASSERT_FALSE(exact.communities.empty());
+      EXPECT_LE(heuristic.communities[0].influence,
+                exact.communities[0].influence + 1e-12);
+    }
+  }
+}
+
+TEST(LocalSearchTest, AvgStrategyFindsSmallRichCommunity) {
+  const Graph g = TwoTrianglesAndK4();
+  const Query query = MakeQuery(2, 1, 4, AggregationSpec::Avg());
+  const SearchResult result = LocalSearch(g, query);
+  ASSERT_EQ(result.communities.size(), 1u);
+  // Greedy from seed 9 orders {9, 8, 7, 6}; prefix {9, 8, 7} is a triangle
+  // with avg 35, the exact optimum.
+  EXPECT_EQ(result.communities[0].members, Members({7, 8, 9}));
+  EXPECT_DOUBLE_EQ(result.communities[0].influence, 35.0);
+}
+
+TEST(LocalSearchTest, MinViaAvgStrategyPath) {
+  // Node-dominated min is routed through the prefix strategy; results must
+  // be valid size-constrained communities.
+  const Graph g = TwoTrianglesAndK4();
+  const Query query = MakeQuery(2, 2, 3, AggregationSpec::Min());
+  const SearchResult result = LocalSearch(g, query);
+  EXPECT_EQ(ValidateResult(g, query, result), "");
+  ASSERT_GE(result.communities.size(), 1u);
+  // Best s=3 community under min: {0,1,2} with min 10.
+  EXPECT_DOUBLE_EQ(result.communities[0].influence, 10.0);
+}
+
+TEST(LocalSearchTest, ResultsAreValidOnPlantedGraph) {
+  PlantedCommunitiesOptions planted_options;
+  planted_options.background_vertices = 400;
+  planted_options.num_communities = 5;
+  planted_options.community_size = 8;
+  planted_options.seed = 3;
+  const auto planted = GeneratePlantedCommunities(planted_options);
+  for (const auto spec : {AggregationSpec::Sum(), AggregationSpec::Avg()}) {
+    for (const bool greedy : {true, false}) {
+      const Query query = MakeQuery(3, 5, 10, spec);
+      LocalSearchOptions options;
+      options.greedy = greedy;
+      const SearchResult result = LocalSearch(planted.graph, query, options);
+      EXPECT_EQ(ValidateResult(planted.graph, query, result), "");
+      EXPECT_GE(result.communities.size(), 1u);
+    }
+  }
+}
+
+TEST(LocalSearchTest, GreedyRecoversPlantedBlocks) {
+  PlantedCommunitiesOptions planted_options;
+  planted_options.background_vertices = 400;
+  planted_options.num_communities = 5;
+  planted_options.community_size = 8;
+  planted_options.weight_boost = 100.0;
+  planted_options.seed = 5;
+  const auto planted = GeneratePlantedCommunities(planted_options);
+  const Query query = MakeQuery(7, 5, 8, AggregationSpec::Sum());
+  const SearchResult result = LocalSearch(planted.graph, query);
+  // k = 7 with s = 8 admits exactly the planted 8-cliques.
+  ASSERT_EQ(result.communities.size(), 5u);
+  for (const Community& c : result.communities) {
+    EXPECT_TRUE(std::find(planted.planted.begin(), planted.planted.end(),
+                          c.members) != planted.planted.end());
+  }
+}
+
+TEST(LocalSearchTest, TonicResultsDisjoint) {
+  const Graph g = TwoTrianglesAndK4();
+  Query query = MakeQuery(2, 3, 3, AggregationSpec::Sum());
+  query.non_overlapping = true;
+  const SearchResult result = LocalSearch(g, query);
+  EXPECT_EQ(ValidateResult(g, query, result), "");
+  EXPECT_GE(result.communities.size(), 2u);
+}
+
+TEST(LocalSearchTest, TonicConsumesVertices) {
+  const Graph g = TwoTrianglesAndK4();
+  Query tonic = MakeQuery(2, 5, 3, AggregationSpec::Sum());
+  tonic.non_overlapping = true;
+  Query overlap = tonic;
+  overlap.non_overlapping = false;
+  const SearchResult tonic_result = LocalSearch(g, tonic);
+  const SearchResult overlap_result = LocalSearch(g, overlap);
+  // Overlapping mode may reuse K4's vertices across candidates; TONIC
+  // cannot, so it returns at most one community per disjoint region.
+  EXPECT_LE(tonic_result.communities.size(),
+            overlap_result.communities.size());
+}
+
+TEST(LocalSearchTest, UnconstrainedUsesNeighborhoodCap) {
+  const Graph g = TwoTrianglesAndK4();
+  Query query = MakeQuery(2, 2, 0, AggregationSpec::Avg());
+  LocalSearchOptions options;
+  options.neighborhood_cap = 4;
+  const SearchResult result = LocalSearch(g, query, options);
+  EXPECT_EQ(ValidateResult(g, query, result), "");
+  ASSERT_GE(result.communities.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.communities[0].influence, 35.0);
+}
+
+TEST(LocalSearchTest, SeedOrderAblationStillValid) {
+  const Graph g = TwoTrianglesAndK4();
+  const Query query = MakeQuery(2, 3, 4, AggregationSpec::Sum());
+  LocalSearchOptions options;
+  options.seed_order = SeedOrder::kDescendingWeight;
+  const SearchResult result = LocalSearch(g, query, options);
+  EXPECT_EQ(ValidateResult(g, query, result), "");
+  ASSERT_GE(result.communities.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.communities[0].influence, 106.0);
+}
+
+TEST(LocalSearchTest, StatsPopulated) {
+  const Graph g = TwoTrianglesAndK4();
+  const SearchResult result =
+      LocalSearch(g, MakeQuery(2, 3, 4, AggregationSpec::Sum()));
+  EXPECT_GT(result.stats.seeds_processed, 0u);
+  EXPECT_GT(result.stats.candidates_generated, 0u);
+}
+
+TEST(LocalSearchTest, NoKCoreYieldsEmpty) {
+  const Graph g = TwoTrianglesAndK4();
+  const SearchResult result =
+      LocalSearch(g, MakeQuery(4, 2, 5, AggregationSpec::Sum()));
+  EXPECT_TRUE(result.communities.empty());
+}
+
+TEST(LocalSearchDeathTest, RejectsInvalidQuery) {
+  const Graph g = TwoTrianglesAndK4();
+  Query query = MakeQuery(3, 1, 3, AggregationSpec::Sum());  // s < k + 1
+  EXPECT_DEATH(LocalSearch(g, query), "invalid query");
+}
+
+}  // namespace
+}  // namespace ticl

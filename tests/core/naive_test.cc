@@ -1,0 +1,117 @@
+#include "core/naive_search.h"
+
+#include <gtest/gtest.h>
+
+#include "core/verification.h"
+#include "testing/builders.h"
+
+namespace ticl {
+namespace {
+
+using testing::Members;
+using testing::TwoTrianglesAndK4;
+
+Query SumQuery(VertexId k, std::uint32_t r) {
+  Query q;
+  q.k = k;
+  q.r = r;
+  q.aggregation = AggregationSpec::Sum();
+  return q;
+}
+
+TEST(NaiveSearchTest, FixtureTopOne) {
+  const Graph g = TwoTrianglesAndK4();
+  const SearchResult result = NaiveSearch(g, SumQuery(2, 1));
+  ASSERT_EQ(result.communities.size(), 1u);
+  EXPECT_EQ(result.communities[0].members, Members({6, 7, 8, 9}));
+  EXPECT_DOUBLE_EQ(result.communities[0].influence, 106.0);
+}
+
+TEST(NaiveSearchTest, FixtureTopFiveValues) {
+  // Hand-derived ground truth (see testing/builders.h).
+  const Graph g = TwoTrianglesAndK4();
+  const SearchResult result = NaiveSearch(g, SumQuery(2, 5));
+  ASSERT_EQ(result.communities.size(), 5u);
+  EXPECT_DOUBLE_EQ(result.communities[0].influence, 106.0);
+  EXPECT_DOUBLE_EQ(result.communities[1].influence, 105.0);
+  EXPECT_DOUBLE_EQ(result.communities[2].influence, 104.0);
+  EXPECT_DOUBLE_EQ(result.communities[3].influence, 103.0);
+  EXPECT_DOUBLE_EQ(result.communities[4].influence, 78.0);
+  EXPECT_EQ(result.communities[1].members, Members({7, 8, 9}));
+  EXPECT_EQ(result.communities[4].members, Members({0, 1, 2, 3, 4, 5}));
+}
+
+TEST(NaiveSearchTest, FixtureAtKThree) {
+  const Graph g = TwoTrianglesAndK4();
+  const SearchResult result = NaiveSearch(g, SumQuery(3, 2));
+  // Only the K4 forms a 3-core, and no proper subgraph survives at k = 3.
+  ASSERT_EQ(result.communities.size(), 1u);
+  EXPECT_EQ(result.communities[0].members, Members({6, 7, 8, 9}));
+}
+
+TEST(NaiveSearchTest, NoKCoreYieldsEmpty) {
+  const Graph g = TwoTrianglesAndK4();
+  const SearchResult result = NaiveSearch(g, SumQuery(4, 3));
+  EXPECT_TRUE(result.communities.empty());
+}
+
+TEST(NaiveSearchTest, ResultValidates) {
+  const Graph g = TwoTrianglesAndK4();
+  const Query query = SumQuery(2, 4);
+  const SearchResult result = NaiveSearch(g, query);
+  EXPECT_EQ(ValidateResult(g, query, result), "");
+}
+
+TEST(NaiveSearchTest, SumSurplusSupported) {
+  const Graph g = TwoTrianglesAndK4();
+  Query query = SumQuery(2, 2);
+  query.aggregation = AggregationSpec::SumSurplus(10.0);
+  const SearchResult result = NaiveSearch(g, query);
+  ASSERT_EQ(result.communities.size(), 2u);
+  // K4: 106 + 40 = 146; {0..5}: 78 + 60 = 138; {7,8,9}: 105 + 30 = 135.
+  EXPECT_DOUBLE_EQ(result.communities[0].influence, 146.0);
+  EXPECT_DOUBLE_EQ(result.communities[1].influence, 138.0);
+}
+
+TEST(NaiveSearchTest, TonicReturnsComponents) {
+  const Graph g = TwoTrianglesAndK4();
+  Query query = SumQuery(2, 3);
+  query.non_overlapping = true;
+  const SearchResult result = NaiveSearch(g, query);
+  ASSERT_EQ(result.communities.size(), 2u);  // only two components exist
+  EXPECT_EQ(result.communities[0].members, Members({6, 7, 8, 9}));
+  EXPECT_EQ(result.communities[1].members, Members({0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(ValidateResult(g, query, result), "");
+}
+
+TEST(NaiveSearchTest, StatsPopulated) {
+  const Graph g = TwoTrianglesAndK4();
+  const SearchResult result = NaiveSearch(g, SumQuery(2, 3));
+  EXPECT_GT(result.stats.candidates_generated, 0u);
+  EXPECT_GT(result.stats.peel_operations, 0u);
+  EXPECT_GE(result.stats.elapsed_seconds, 0.0);
+}
+
+TEST(NaiveSearchDeathTest, RejectsSizeConstraint) {
+  const Graph g = TwoTrianglesAndK4();
+  Query query = SumQuery(2, 1);
+  query.size_limit = 4;
+  EXPECT_DEATH(NaiveSearch(g, query), "size-unconstrained");
+}
+
+TEST(NaiveSearchDeathTest, RejectsNonMonotoneAggregation) {
+  const Graph g = TwoTrianglesAndK4();
+  Query query = SumQuery(2, 1);
+  query.aggregation = AggregationSpec::Avg();
+  EXPECT_DEATH(NaiveSearch(g, query), "monotone");
+}
+
+TEST(NaiveSearchDeathTest, RejectsInvalidQuery) {
+  const Graph g = TwoTrianglesAndK4();
+  Query query = SumQuery(2, 1);
+  query.r = 0;
+  EXPECT_DEATH(NaiveSearch(g, query), "invalid query");
+}
+
+}  // namespace
+}  // namespace ticl

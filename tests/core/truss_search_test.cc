@@ -1,0 +1,138 @@
+#include "core/truss_search.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/truss_decomposition.h"
+#include "algo/weights.h"
+#include "gen/erdos_renyi.h"
+#include "testing/builders.h"
+
+namespace ticl {
+namespace {
+
+using testing::Members;
+using testing::TwoTrianglesAndK4;
+
+Query SumQuery(VertexId k, std::uint32_t r) {
+  Query q;
+  q.k = k;
+  q.r = r;
+  q.aggregation = AggregationSpec::Sum();
+  return q;
+}
+
+TEST(TrussSearchTest, FixtureTopThreeAtTrussThree) {
+  const Graph g = TwoTrianglesAndK4();
+  // 3-truss components: K4 (106), {0,1,2} (60), {3,4,5} (18). Children of
+  // K4: its triangles (each pair of K4 vertices still shares 2 common
+  // neighbours... removing one vertex leaves a triangle, truss 3).
+  const SearchResult result = TrussImprovedSearch(g, SumQuery(3, 3));
+  ASSERT_EQ(result.communities.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.communities[0].influence, 106.0);
+  EXPECT_EQ(result.communities[0].members, Members({6, 7, 8, 9}));
+  EXPECT_DOUBLE_EQ(result.communities[1].influence, 105.0);  // {7,8,9}
+  EXPECT_DOUBLE_EQ(result.communities[2].influence, 104.0);  // {6,8,9}
+}
+
+TEST(TrussSearchTest, FixtureTrussFourOnlyK4) {
+  const Graph g = TwoTrianglesAndK4();
+  const SearchResult result = TrussImprovedSearch(g, SumQuery(4, 5));
+  // K4 is the only 4-truss; removing any vertex destroys it.
+  ASSERT_EQ(result.communities.size(), 1u);
+  EXPECT_EQ(result.communities[0].members, Members({6, 7, 8, 9}));
+}
+
+TEST(TrussSearchTest, BridgeNeverJoinsTrussCommunities) {
+  const Graph g = TwoTrianglesAndK4();
+  // Unlike the k-core model (where {0..5} is one 2-core community), the
+  // 3-truss world splits the two triangles: no result may contain both
+  // vertex 0 and vertex 3.
+  const SearchResult result = TrussImprovedSearch(g, SumQuery(3, 6));
+  for (const Community& c : result.communities) {
+    const bool has_a =
+        std::binary_search(c.members.begin(), c.members.end(), VertexId{0});
+    const bool has_b =
+        std::binary_search(c.members.begin(), c.members.end(), VertexId{3});
+    EXPECT_FALSE(has_a && has_b);
+  }
+}
+
+TEST(TrussSearchTest, ResultsAreValidTrussSubgraphs) {
+  Graph g = GenerateErdosRenyi(150, 800, 9);
+  AssignWeights(&g, WeightScheme::kUniform, 10);
+  for (const VertexId k : {3u, 4u}) {
+    const SearchResult result = TrussImprovedSearch(g, SumQuery(k, 4));
+    for (const Community& c : result.communities) {
+      EXPECT_EQ(ValidateKTrussSubgraph(g, c.members, k), "") << "k=" << k;
+    }
+    // Non-increasing influence order.
+    for (std::size_t i = 1; i < result.communities.size(); ++i) {
+      EXPECT_GE(result.communities[i - 1].influence,
+                result.communities[i].influence);
+    }
+  }
+}
+
+TEST(TrussSearchTest, TopOneIsTheBestTrussComponent) {
+  Graph g = GenerateErdosRenyi(120, 600, 11);
+  AssignWeights(&g, WeightScheme::kUniform, 12);
+  const auto components = KTrussComponents(g, 3);
+  if (components.empty()) GTEST_SKIP();
+  double best = 0.0;
+  for (const VertexList& component : components) {
+    best = std::max(best, EvaluateOnSubset(AggregationSpec::Sum(), g,
+                                           component));
+  }
+  const SearchResult result = TrussImprovedSearch(g, SumQuery(3, 1));
+  ASSERT_EQ(result.communities.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.communities[0].influence, best);
+}
+
+TEST(TrussSearchTest, TonicReturnsDisjointComponents) {
+  const Graph g = TwoTrianglesAndK4();
+  Query query = SumQuery(3, 5);
+  query.non_overlapping = true;
+  const SearchResult result = TrussImprovedSearch(g, query);
+  ASSERT_EQ(result.communities.size(), 3u);
+  EXPECT_EQ(result.communities[0].members, Members({6, 7, 8, 9}));
+  EXPECT_EQ(result.communities[1].members, Members({0, 1, 2}));
+  EXPECT_EQ(result.communities[2].members, Members({3, 4, 5}));
+}
+
+TEST(TrussSearchTest, NoTrussYieldsEmpty) {
+  const Graph g = TwoTrianglesAndK4();
+  EXPECT_TRUE(TrussImprovedSearch(g, SumQuery(5, 2)).communities.empty());
+}
+
+TEST(TrussSearchTest, DeeperFamilyThanComponentsAlone) {
+  Graph g = GenerateErdosRenyi(100, 600, 21);
+  AssignWeights(&g, WeightScheme::kUniform, 22);
+  const auto components = KTrussComponents(g, 3);
+  if (components.empty()) GTEST_SKIP();
+  const SearchResult result = TrussImprovedSearch(g, SumQuery(3, 8));
+  // Deletion exploration must surface strictly more candidates than the
+  // component seeding alone whenever any component is larger than a
+  // triangle.
+  std::size_t biggest = 0;
+  for (const auto& component : components) {
+    biggest = std::max(biggest, component.size());
+  }
+  if (biggest > 3 && components.size() < 8) {
+    EXPECT_GT(result.communities.size(), components.size());
+  }
+}
+
+TEST(TrussSearchDeathTest, Preconditions) {
+  const Graph g = TwoTrianglesAndK4();
+  Query bad_k = SumQuery(1, 1);
+  EXPECT_DEATH(TrussImprovedSearch(g, bad_k), "k >= 2");
+  Query constrained = SumQuery(3, 1);
+  constrained.size_limit = 5;
+  EXPECT_DEATH(TrussImprovedSearch(g, constrained), "unconstrained");
+  Query avg = SumQuery(3, 1);
+  avg.aggregation = AggregationSpec::Avg();
+  EXPECT_DEATH(TrussImprovedSearch(g, avg), "monotone");
+}
+
+}  // namespace
+}  // namespace ticl

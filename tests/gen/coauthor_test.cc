@@ -1,0 +1,137 @@
+#include "gen/coauthor_network.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "algo/connectivity.h"
+
+namespace ticl {
+namespace {
+
+CoauthorNetworkOptions SmallOptions() {
+  CoauthorNetworkOptions options;
+  options.num_fields = 3;
+  options.groups_per_field = 4;
+  options.min_group_size = 5;
+  options.max_group_size = 8;
+  options.seed = 99;
+  return options;
+}
+
+TEST(CoauthorTest, LayoutConsistency) {
+  const CoauthorNetwork net = GenerateCoauthorNetwork(SmallOptions());
+  const VertexId n = net.graph.num_vertices();
+  EXPECT_EQ(net.names.size(), n);
+  EXPECT_EQ(net.field.size(), n);
+  EXPECT_EQ(net.group.size(), n);
+  EXPECT_EQ(net.field_names.size(), 3u);
+  EXPECT_EQ(net.group_members.size(), 12u);
+  for (const VertexList& group : net.group_members) {
+    EXPECT_GE(group.size(), 5u);
+    EXPECT_LE(group.size(), 8u);
+  }
+}
+
+TEST(CoauthorTest, GroupLabelsMatchMemberLists) {
+  const CoauthorNetwork net = GenerateCoauthorNetwork(SmallOptions());
+  for (std::size_t gid = 0; gid < net.group_members.size(); ++gid) {
+    for (const VertexId v : net.group_members[gid]) {
+      EXPECT_EQ(net.group[v], gid);
+    }
+  }
+}
+
+TEST(CoauthorTest, FieldsPartitionGroups) {
+  const CoauthorNetwork net = GenerateCoauthorNetwork(SmallOptions());
+  for (std::size_t gid = 0; gid < net.group_members.size(); ++gid) {
+    const std::uint32_t field = net.field[net.group_members[gid].front()];
+    for (const VertexId v : net.group_members[gid]) {
+      EXPECT_EQ(net.field[v], field);
+    }
+  }
+}
+
+TEST(CoauthorTest, GroupsInternallyConnected) {
+  const CoauthorNetwork net = GenerateCoauthorNetwork(SmallOptions());
+  for (const VertexList& group : net.group_members) {
+    EXPECT_TRUE(IsSubsetConnected(net.graph, group));
+  }
+}
+
+TEST(CoauthorTest, WeightsPositive) {
+  const CoauthorNetwork net = GenerateCoauthorNetwork(SmallOptions());
+  for (VertexId v = 0; v < net.graph.num_vertices(); ++v) {
+    EXPECT_GE(net.graph.weight(v), 0.0);
+  }
+  EXPECT_GT(net.graph.total_weight(), 0.0);
+}
+
+TEST(CoauthorTest, SeniorsOutweighJuniorsOnAverage) {
+  CoauthorNetworkOptions options = SmallOptions();
+  options.groups_per_field = 10;
+  const CoauthorNetwork net = GenerateCoauthorNetwork(options);
+  double senior_sum = 0.0;
+  double junior_sum = 0.0;
+  std::size_t senior_count = 0;
+  std::size_t junior_count = 0;
+  for (const VertexList& group : net.group_members) {
+    const auto seniors = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(group.size()) * 0.5));
+    for (std::size_t i = 0; i < group.size(); ++i) {
+      if (i < seniors) {
+        senior_sum += net.graph.weight(group[i]);
+        ++senior_count;
+      } else {
+        junior_sum += net.graph.weight(group[i]);
+        ++junior_count;
+      }
+    }
+  }
+  EXPECT_GT(senior_sum / static_cast<double>(senior_count),
+            3.0 * junior_sum / static_cast<double>(junior_count));
+}
+
+TEST(CoauthorTest, Deterministic) {
+  const CoauthorNetwork a = GenerateCoauthorNetwork(SmallOptions());
+  const CoauthorNetwork b = GenerateCoauthorNetwork(SmallOptions());
+  EXPECT_EQ(a.graph.adjacency(), b.graph.adjacency());
+  EXPECT_EQ(a.graph.weights(), b.graph.weights());
+  EXPECT_EQ(a.names, b.names);
+}
+
+TEST(CoauthorTest, NamesNonEmptyAndUnique) {
+  const CoauthorNetwork net = GenerateCoauthorNetwork(SmallOptions());
+  std::set<std::string> names(net.names.begin(), net.names.end());
+  EXPECT_EQ(names.size(), net.names.size());  // "[id]" suffix guarantees it
+  for (const std::string& name : net.names) EXPECT_FALSE(name.empty());
+}
+
+TEST(CoauthorTest, MetricsProduceDifferentScales) {
+  CoauthorNetworkOptions h = SmallOptions();
+  h.metric = CitationMetric::kHIndex;
+  CoauthorNetworkOptions g = SmallOptions();
+  g.metric = CitationMetric::kGIndex;
+  const CoauthorNetwork net_h = GenerateCoauthorNetwork(h);
+  const CoauthorNetwork net_g = GenerateCoauthorNetwork(g);
+  // g-index values run higher than h-index values overall.
+  EXPECT_GT(net_g.graph.total_weight(), net_h.graph.total_weight());
+}
+
+TEST(CoauthorTest, MetricNames) {
+  EXPECT_EQ(CitationMetricName(CitationMetric::kHIndex), "h-index");
+  EXPECT_EQ(CitationMetricName(CitationMetric::kGIndex), "g-index");
+  EXPECT_EQ(CitationMetricName(CitationMetric::kI10Index), "i10-index");
+}
+
+TEST(CoauthorTest, ManyFieldsGetSuffixedNames) {
+  CoauthorNetworkOptions options = SmallOptions();
+  options.num_fields = 7;
+  const CoauthorNetwork net = GenerateCoauthorNetwork(options);
+  EXPECT_EQ(net.field_names.size(), 7u);
+  EXPECT_NE(net.field_names[5], net.field_names[0]);
+}
+
+}  // namespace
+}  // namespace ticl

@@ -1,0 +1,98 @@
+#include "gen/planted_communities.h"
+
+#include <gtest/gtest.h>
+
+#include "core/improved_search.h"
+#include "core/verification.h"
+
+namespace ticl {
+namespace {
+
+PlantedCommunitiesOptions SmallOptions() {
+  PlantedCommunitiesOptions options;
+  options.background_vertices = 300;
+  options.background_average_degree = 4.0;
+  options.num_communities = 4;
+  options.community_size = 6;
+  options.intra_probability = 1.0;  // cliques
+  options.attachment_edges = 2;
+  options.weight_boost = 50.0;
+  options.seed = 17;
+  return options;
+}
+
+TEST(PlantedTest, SizesAndLayout) {
+  const auto planted = GeneratePlantedCommunities(SmallOptions());
+  EXPECT_EQ(planted.graph.num_vertices(), 300u + 4u * 6u);
+  ASSERT_EQ(planted.planted.size(), 4u);
+  for (const VertexList& block : planted.planted) {
+    EXPECT_EQ(block.size(), 6u);
+    for (const VertexId v : block) EXPECT_GE(v, 300u);
+  }
+}
+
+TEST(PlantedTest, BlocksAreCliquesAtFullIntraProbability) {
+  const auto planted = GeneratePlantedCommunities(SmallOptions());
+  for (const VertexList& block : planted.planted) {
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      for (std::size_t j = i + 1; j < block.size(); ++j) {
+        EXPECT_TRUE(planted.graph.HasEdge(block[i], block[j]));
+      }
+    }
+  }
+}
+
+TEST(PlantedTest, WeightsBoosted) {
+  const auto planted = GeneratePlantedCommunities(SmallOptions());
+  for (const VertexList& block : planted.planted) {
+    for (const VertexId v : block) {
+      EXPECT_GE(planted.graph.weight(v), 50.0);
+    }
+  }
+  for (VertexId v = 0; v < 300; ++v) {
+    EXPECT_LT(planted.graph.weight(v), 1.0);
+  }
+}
+
+TEST(PlantedTest, Deterministic) {
+  const auto a = GeneratePlantedCommunities(SmallOptions());
+  const auto b = GeneratePlantedCommunities(SmallOptions());
+  EXPECT_EQ(a.graph.adjacency(), b.graph.adjacency());
+  EXPECT_EQ(a.graph.weights(), b.graph.weights());
+  EXPECT_EQ(a.planted, b.planted);
+}
+
+TEST(PlantedTest, PlantedBlocksAreValidCommunities) {
+  const auto planted = GeneratePlantedCommunities(SmallOptions());
+  // Clique of 6 = connected 5-core; check at k = 5.
+  for (const VertexList& block : planted.planted) {
+    EXPECT_EQ(ValidateCommunity(planted.graph, block, 5), "");
+  }
+}
+
+TEST(PlantedTest, SumSearchRecoversPlantedMembersAtHighK) {
+  // At k = 5 the background (avg degree 4) contributes little; the top
+  // community under sum must consist of planted vertices.
+  const auto planted = GeneratePlantedCommunities(SmallOptions());
+  Query query;
+  query.k = 5;
+  query.r = 1;
+  query.aggregation = AggregationSpec::Sum();
+  const SearchResult result = ImprovedSearch(planted.graph, query);
+  ASSERT_FALSE(result.communities.empty());
+  for (const VertexId v : result.communities.front().members) {
+    EXPECT_GE(v, 300u) << "background vertex in top planted community";
+  }
+}
+
+TEST(PlantedTest, ZeroBackgroundSupported) {
+  PlantedCommunitiesOptions options = SmallOptions();
+  options.background_vertices = 0;
+  options.attachment_edges = 0;
+  const auto planted = GeneratePlantedCommunities(options);
+  EXPECT_EQ(planted.graph.num_vertices(), 24u);
+  EXPECT_EQ(planted.planted.size(), 4u);
+}
+
+}  // namespace
+}  // namespace ticl

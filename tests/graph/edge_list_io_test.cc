@@ -1,0 +1,152 @@
+#include "graph/edge_list_io.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.h"
+
+namespace ticl {
+namespace {
+
+class EdgeListIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ticl_io_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  void WriteFile(const std::string& name, const std::string& content) {
+    std::ofstream out(Path(name));
+    out << content;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(EdgeListIoTest, SaveLoadRoundtrip) {
+  const Graph original = testing::TwoTrianglesAndK4();
+  std::string error;
+  ASSERT_TRUE(SaveEdgeList(Path("g.txt"), original, &error)) << error;
+  Graph loaded;
+  ASSERT_TRUE(LoadEdgeList(Path("g.txt"), &loaded, &error)) << error;
+  EXPECT_EQ(loaded.num_vertices(), original.num_vertices());
+  EXPECT_EQ(loaded.num_edges(), original.num_edges());
+  for (VertexId v = 0; v < loaded.num_vertices(); ++v) {
+    EXPECT_EQ(loaded.degree(v), original.degree(v));
+  }
+}
+
+TEST_F(EdgeListIoTest, CommentsAndBlanksIgnored) {
+  WriteFile("g.txt",
+            "# SNAP-style comment\n"
+            "% matrix-market-style comment\n"
+            "\n"
+            "0 1\n"
+            "   \t\n"
+            "1 2\n");
+  Graph g;
+  std::string error;
+  ASSERT_TRUE(LoadEdgeList(Path("g.txt"), &g, &error)) << error;
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST_F(EdgeListIoTest, WhitespaceVariantsParse) {
+  WriteFile("g.txt", "0\t1\n2   3\n");
+  Graph g;
+  std::string error;
+  ASSERT_TRUE(LoadEdgeList(Path("g.txt"), &g, &error)) << error;
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST_F(EdgeListIoTest, DuplicatesAndSelfLoopsNormalized) {
+  WriteFile("g.txt", "0 1\n1 0\n2 2\n0 1\n");
+  Graph g;
+  std::string error;
+  ASSERT_TRUE(LoadEdgeList(Path("g.txt"), &g, &error)) << error;
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST_F(EdgeListIoTest, MalformedLineReportsLocation) {
+  WriteFile("g.txt", "0 1\nnot an edge\n");
+  Graph g;
+  std::string error;
+  EXPECT_FALSE(LoadEdgeList(Path("g.txt"), &g, &error));
+  EXPECT_NE(error.find(":2"), std::string::npos) << error;
+}
+
+TEST_F(EdgeListIoTest, NegativeVertexRejected) {
+  WriteFile("g.txt", "0 -4\n");
+  Graph g;
+  std::string error;
+  EXPECT_FALSE(LoadEdgeList(Path("g.txt"), &g, &error));
+}
+
+TEST_F(EdgeListIoTest, MissingFileFails) {
+  Graph g;
+  std::string error;
+  EXPECT_FALSE(LoadEdgeList(Path("nope.txt"), &g, &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST_F(EdgeListIoTest, WeightsRoundtrip) {
+  Graph g = testing::TwoTrianglesAndK4();
+  std::string error;
+  ASSERT_TRUE(SaveWeights(Path("w.txt"), g, &error)) << error;
+  Graph g2 = testing::TwoTrianglesAndK4();
+  g2.SetWeights(std::vector<Weight>(10, 0.0));
+  ASSERT_TRUE(LoadWeights(Path("w.txt"), &g2, &error)) << error;
+  for (VertexId v = 0; v < 10; ++v) {
+    EXPECT_DOUBLE_EQ(g2.weight(v), g.weight(v));
+  }
+}
+
+TEST_F(EdgeListIoTest, WeightsMissingVerticesDefaultZero) {
+  WriteFile("w.txt", "1 5.5\n");
+  Graph g = testing::PathGraph(3);
+  std::string error;
+  ASSERT_TRUE(LoadWeights(Path("w.txt"), &g, &error)) << error;
+  EXPECT_DOUBLE_EQ(g.weight(0), 0.0);
+  EXPECT_DOUBLE_EQ(g.weight(1), 5.5);
+  EXPECT_DOUBLE_EQ(g.weight(2), 0.0);
+}
+
+TEST_F(EdgeListIoTest, WeightsOutOfRangeVertexRejected) {
+  WriteFile("w.txt", "7 1.0\n");
+  Graph g = testing::PathGraph(3);
+  std::string error;
+  EXPECT_FALSE(LoadWeights(Path("w.txt"), &g, &error));
+  EXPECT_NE(error.find("out-of-range"), std::string::npos);
+}
+
+TEST_F(EdgeListIoTest, NegativeWeightRejected) {
+  WriteFile("w.txt", "0 -1.0\n");
+  Graph g = testing::PathGraph(3);
+  std::string error;
+  EXPECT_FALSE(LoadWeights(Path("w.txt"), &g, &error));
+  EXPECT_NE(error.find("negative"), std::string::npos);
+}
+
+TEST_F(EdgeListIoTest, SaveWeightsWithoutWeightsFails) {
+  const Graph g = testing::PathGraph(3);
+  std::string error;
+  EXPECT_FALSE(SaveWeights(Path("w.txt"), g, &error));
+}
+
+TEST_F(EdgeListIoTest, MalformedWeightLineFails) {
+  WriteFile("w.txt", "0 abc\n");
+  Graph g = testing::PathGraph(3);
+  std::string error;
+  EXPECT_FALSE(LoadWeights(Path("w.txt"), &g, &error));
+}
+
+}  // namespace
+}  // namespace ticl

@@ -1,0 +1,125 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace ticl {
+namespace {
+
+TEST(GraphBuilderTest, EmptyBuild) {
+  GraphBuilder b;
+  const Graph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, SingleEdge) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+}
+
+TEST(GraphBuilderTest, VertexCountFromMaxId) {
+  GraphBuilder b;
+  b.AddEdge(2, 7);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 8u);
+  EXPECT_EQ(g.degree(0), 0u);
+}
+
+TEST(GraphBuilderTest, ExplicitVertexCountPreservesIsolated) {
+  GraphBuilder b;
+  b.SetNumVertices(5);
+  b.AddEdge(0, 1);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.degree(4), 0u);
+}
+
+TEST(GraphBuilderTest, ExplicitVertexCountZeroEdges) {
+  GraphBuilder b;
+  b.SetNumVertices(3);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.num_vertices(), 3u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphBuilderTest, SelfLoopsDropped) {
+  GraphBuilder b;
+  b.SetNumVertices(3);
+  b.AddEdge(1, 1);
+  b.AddEdge(0, 2);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_FALSE(g.HasEdge(1, 1));
+}
+
+TEST(GraphBuilderTest, DuplicateEdgesMerged) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 0);
+  b.AddEdge(0, 1);
+  const Graph g = b.Build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(GraphBuilderTest, AdjacencySorted) {
+  GraphBuilder b;
+  b.AddEdge(5, 0);
+  b.AddEdge(5, 3);
+  b.AddEdge(5, 1);
+  b.AddEdge(5, 4);
+  const Graph g = b.Build();
+  const auto nbrs = g.neighbors(5);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_EQ(nbrs.size(), 4u);
+}
+
+TEST(GraphBuilderTest, OutOfRangeEdgeAborts) {
+  GraphBuilder b;
+  b.SetNumVertices(2);
+  b.AddEdge(0, 5);
+  EXPECT_DEATH(b.Build(), "exceeds declared vertex count");
+}
+
+TEST(GraphBuilderTest, BuilderReusableAfterBuild) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  const Graph g1 = b.Build();
+  EXPECT_EQ(g1.num_edges(), 1u);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  const Graph g2 = b.Build();
+  EXPECT_EQ(g2.num_vertices(), 3u);
+  EXPECT_EQ(g2.num_edges(), 2u);
+}
+
+TEST(GraphBuilderTest, TriangleDegrees) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 0);
+  const Graph g = b.Build();
+  for (VertexId v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 2.0);
+}
+
+TEST(GraphBuilderTest, NumAddedEdgesCountsRawInsertions) {
+  GraphBuilder b;
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 1);
+  b.AddEdge(2, 2);  // self-loop dropped immediately
+  EXPECT_EQ(b.num_added_edges(), 2u);
+}
+
+}  // namespace
+}  // namespace ticl

@@ -1,0 +1,127 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/builders.h"
+
+namespace ticl {
+namespace {
+
+using testing::CompleteGraph;
+using testing::Members;
+using testing::PathGraph;
+using testing::TwoTrianglesAndK4;
+
+TEST(GraphTest, DefaultConstructedIsEmpty) {
+  const Graph g;
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.max_degree(), 0u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 0.0);
+  EXPECT_FALSE(g.has_weights());
+}
+
+TEST(GraphTest, CsrInvariantsOnPath) {
+  const Graph g = PathGraph(4);
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.offsets().front(), 0u);
+  EXPECT_EQ(g.offsets().back(), g.adjacency().size());
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+}
+
+TEST(GraphTest, HasEdgeBothDirectionsAndMisses) {
+  const Graph g = PathGraph(4);
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_TRUE(g.HasEdge(2, 1));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(0, 0));
+}
+
+TEST(GraphTest, NeighborsSpan) {
+  const Graph g = CompleteGraph(4);
+  const auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 0u);
+  EXPECT_EQ(nbrs[1], 1u);
+  EXPECT_EQ(nbrs[2], 3u);
+}
+
+TEST(GraphTest, WeightsInstallAndTotal) {
+  Graph g = PathGraph(3);
+  EXPECT_FALSE(g.has_weights());
+  g.SetWeights({1.0, 2.5, 0.5});
+  EXPECT_TRUE(g.has_weights());
+  EXPECT_DOUBLE_EQ(g.weight(1), 2.5);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 4.0);
+}
+
+TEST(GraphTest, SetWeightsWrongSizeAborts) {
+  Graph g = PathGraph(3);
+  EXPECT_DEATH(g.SetWeights({1.0, 2.0}), "");
+}
+
+TEST(GraphTest, SetWeightsNegativeAborts) {
+  Graph g = PathGraph(2);
+  EXPECT_DEATH(g.SetWeights({1.0, -0.1}), "non-negative");
+}
+
+TEST(GraphTest, ReassigningWeightsUpdatesTotal) {
+  Graph g = PathGraph(2);
+  g.SetWeights({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(g.total_weight(), 2.0);
+  g.SetWeights({3.0, 4.0});
+  EXPECT_DOUBLE_EQ(g.total_weight(), 7.0);
+}
+
+TEST(InducedSubgraphTest, ExtractTriangleFromFixture) {
+  const Graph g = TwoTrianglesAndK4();
+  const InducedSubgraph sub = ExtractInducedSubgraph(g, Members({0, 1, 2}));
+  EXPECT_EQ(sub.graph.num_vertices(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 3u);
+  EXPECT_EQ(sub.to_original, Members({0, 1, 2}));
+  EXPECT_TRUE(sub.graph.has_weights());
+  EXPECT_DOUBLE_EQ(sub.graph.weight(2), 30.0);
+}
+
+TEST(InducedSubgraphTest, CrossComponentMembersKeepNoBridges) {
+  const Graph g = TwoTrianglesAndK4();
+  // {0, 1} from triangle A plus {6, 7} from K4: only edges 0-1 and 6-7.
+  const InducedSubgraph sub =
+      ExtractInducedSubgraph(g, Members({0, 1, 6, 7}));
+  EXPECT_EQ(sub.graph.num_vertices(), 4u);
+  EXPECT_EQ(sub.graph.num_edges(), 2u);
+}
+
+TEST(InducedSubgraphTest, UnsortedInputHandled) {
+  const Graph g = TwoTrianglesAndK4();
+  const InducedSubgraph sub = ExtractInducedSubgraph(g, Members({2, 0, 1}));
+  EXPECT_EQ(sub.to_original, Members({0, 1, 2}));
+  EXPECT_EQ(sub.graph.num_edges(), 3u);
+}
+
+TEST(InducedSubgraphTest, EmptyMembers) {
+  const Graph g = TwoTrianglesAndK4();
+  const InducedSubgraph sub = ExtractInducedSubgraph(g, {});
+  EXPECT_EQ(sub.graph.num_vertices(), 0u);
+  EXPECT_EQ(sub.graph.num_edges(), 0u);
+}
+
+TEST(InducedSubgraphTest, DuplicateMemberAborts) {
+  const Graph g = TwoTrianglesAndK4();
+  EXPECT_DEATH(ExtractInducedSubgraph(g, Members({1, 1, 2})), "duplicate");
+}
+
+TEST(InducedSubgraphTest, LocalIdsFollowSortedOrder) {
+  const Graph g = TwoTrianglesAndK4();
+  const InducedSubgraph sub =
+      ExtractInducedSubgraph(g, Members({9, 6, 8, 7}));
+  // K4 stays complete under relabeling.
+  EXPECT_EQ(sub.graph.num_edges(), 6u);
+  for (VertexId v = 0; v < 4; ++v) EXPECT_EQ(sub.graph.degree(v), 3u);
+  EXPECT_DOUBLE_EQ(sub.graph.weight(3), 100.0);  // original vertex 9
+}
+
+}  // namespace
+}  // namespace ticl

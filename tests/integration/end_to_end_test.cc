@@ -1,0 +1,158 @@
+// Full-pipeline integration tests: generate -> persist -> reload -> weight
+// -> solve -> verify, across solvers and problem variants; plus the case
+// study pipeline on the co-authorship network.
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "algo/core_decomposition.h"
+#include "algo/weights.h"
+#include "core/search.h"
+#include "core/verification.h"
+#include "gen/coauthor_network.h"
+#include "gen/dataset_suite.h"
+#include "graph/edge_list_io.h"
+
+namespace ticl {
+namespace {
+
+class EndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ticl_e2e_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(EndToEndTest, PersistReloadSolveRoundtrip) {
+  // Generate a small stand-in, weight it with PageRank (the paper's
+  // setup), write it to disk, read it back, and confirm identical query
+  // results.
+  Graph original = GenerateStandIn(StandIn::kEmail, 0.2);
+  AssignWeights(&original, WeightScheme::kPageRank);
+
+  std::string error;
+  ASSERT_TRUE(SaveEdgeList(Path("g.txt"), original, &error)) << error;
+  ASSERT_TRUE(SaveWeights(Path("w.txt"), original, &error)) << error;
+
+  Graph reloaded;
+  ASSERT_TRUE(LoadEdgeList(Path("g.txt"), &reloaded, &error)) << error;
+  ASSERT_TRUE(LoadWeights(Path("w.txt"), &reloaded, &error)) << error;
+  ASSERT_EQ(reloaded.num_vertices(), original.num_vertices());
+  ASSERT_EQ(reloaded.num_edges(), original.num_edges());
+
+  Query query;
+  query.k = 4;
+  query.r = 5;
+  query.aggregation = AggregationSpec::Sum();
+  const SearchResult a = Solve(original, query);
+  const SearchResult b = Solve(reloaded, query);
+  ASSERT_EQ(a.communities.size(), b.communities.size());
+  for (std::size_t i = 0; i < a.communities.size(); ++i) {
+    EXPECT_EQ(a.communities[i].members, b.communities[i].members);
+    EXPECT_NEAR(a.communities[i].influence, b.communities[i].influence,
+                1e-12);
+  }
+}
+
+TEST_F(EndToEndTest, AllSolversAllProblemsOnStandIn) {
+  Graph g = GenerateStandIn(StandIn::kEmail, 0.15);
+  AssignWeights(&g, WeightScheme::kPageRank);
+
+  const std::vector<AggregationSpec> specs = {
+      AggregationSpec::Min(), AggregationSpec::Max(), AggregationSpec::Sum(),
+      AggregationSpec::SumSurplus(0.001), AggregationSpec::Avg()};
+  for (const auto& spec : specs) {
+    for (const bool constrained : {false, true}) {
+      for (const bool tonic : {false, true}) {
+        Query query;
+        query.k = 4;
+        query.r = 5;
+        query.size_limit = constrained ? 15 : 0;
+        query.non_overlapping = tonic;
+        query.aggregation = spec;
+        const SearchResult result = Solve(g, query);
+        EXPECT_EQ(ValidateResult(g, query, result), "")
+            << QueryToString(query);
+      }
+    }
+  }
+}
+
+TEST_F(EndToEndTest, NaiveAndImprovedAgreeOnStandIn) {
+  Graph g = GenerateStandIn(StandIn::kEmail, 0.15);
+  AssignWeights(&g, WeightScheme::kPageRank);
+  Query query;
+  query.k = 5;
+  query.r = 5;
+  query.aggregation = AggregationSpec::Sum();
+  SolveOptions naive;
+  naive.solver = SolverKind::kNaive;
+  SolveOptions improved;
+  improved.solver = SolverKind::kImproved;
+  const SearchResult rn = Solve(g, query, naive);
+  const SearchResult ri = Solve(g, query, improved);
+  ASSERT_EQ(rn.communities.size(), ri.communities.size());
+  for (std::size_t i = 0; i < rn.communities.size(); ++i) {
+    EXPECT_EQ(rn.communities[i].members, ri.communities[i].members) << i;
+  }
+}
+
+TEST_F(EndToEndTest, CaseStudyPipelineProducesDisjointResearchGroups) {
+  // The Fig. 14 pipeline: co-authorship network, k = 4, top-3
+  // non-overlapping communities under min / avg / sum.
+  CoauthorNetworkOptions options;
+  options.seed = 2022;
+  const CoauthorNetwork net = GenerateCoauthorNetwork(options);
+  const auto decomp = CoreDecomposition(net.graph);
+  ASSERT_GE(decomp.degeneracy, 4u) << "case study needs a 4-core";
+
+  for (const auto& spec :
+       {AggregationSpec::Min(), AggregationSpec::Avg(),
+        AggregationSpec::Sum()}) {
+    Query query;
+    query.k = 4;
+    query.r = 3;
+    query.non_overlapping = true;
+    query.aggregation = spec;
+    if (spec.kind != Aggregation::kMin) query.size_limit = 12;
+    const SearchResult result = Solve(net.graph, query);
+    EXPECT_EQ(ValidateResult(net.graph, query, result), "")
+        << AggregationName(spec.kind);
+    EXPECT_GE(result.communities.size(), 2u) << AggregationName(spec.kind);
+  }
+}
+
+TEST_F(EndToEndTest, WeightSchemesChangeRankingsButNotValidity) {
+  Graph g = GenerateStandIn(StandIn::kEmail, 0.15);
+  Query query;
+  query.k = 4;
+  query.r = 3;
+  query.aggregation = AggregationSpec::Sum();
+  for (const auto scheme :
+       {WeightScheme::kPageRank, WeightScheme::kDegree,
+        WeightScheme::kUniform, WeightScheme::kLogNormal}) {
+    AssignWeights(&g, scheme, 77);
+    const SearchResult result = Solve(g, query);
+    EXPECT_EQ(ValidateResult(g, query, result), "")
+        << WeightSchemeName(scheme);
+  }
+}
+
+TEST_F(EndToEndTest, ScaleParameterGrowsDataset) {
+  const Graph small = GenerateStandIn(StandIn::kEmail, 0.1);
+  const Graph large = GenerateStandIn(StandIn::kEmail, 0.3);
+  EXPECT_LT(small.num_vertices(), large.num_vertices());
+  EXPECT_LT(small.num_edges(), large.num_edges());
+}
+
+}  // namespace
+}  // namespace ticl

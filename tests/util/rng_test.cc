@@ -1,0 +1,209 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ticl {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() != b.Next()) ++differences;
+  }
+  EXPECT_GT(differences, 90);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBoundedOneAlwaysZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(RngTest, NextBoundedCoversAllValues) {
+  Rng rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, NextBoundedRoughlyUniform) {
+  Rng rng(123);
+  std::vector<int> buckets(10, 0);
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++buckets[rng.NextBounded(10)];
+  for (const int count : buckets) {
+    EXPECT_NEAR(count, kSamples / 10, kSamples / 100);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextInRangeSingleton) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.NextInRange(12, 12), 12);
+}
+
+TEST(RngTest, NextDoubleInHalfOpenUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleMeanNearHalf) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+    EXPECT_FALSE(rng.NextBernoulli(-0.5));
+    EXPECT_TRUE(rng.NextBernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(23);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kSamples;
+  const double var = sum_sq / kSamples - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, ForkIsDeterministic) {
+  Rng parent1(31);
+  Rng parent2(31);
+  Rng child1 = parent1.Fork(5);
+  Rng child2 = parent2.Fork(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child1.Next(), child2.Next());
+}
+
+TEST(RngTest, ForkStreamsDiffer) {
+  Rng parent(31);
+  Rng a = parent.Fork(1);
+  Rng b = parent.Fork(2);
+  int differences = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() != b.Next()) ++differences;
+  }
+  EXPECT_GT(differences, 90);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(37);
+  std::vector<int> values{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> shuffled = values;
+  rng.Shuffle(shuffled.data(), shuffled.size());
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(RngTest, ShuffleActuallyMoves) {
+  Rng rng(41);
+  std::vector<int> values(100);
+  for (std::size_t i = 0; i < 100; ++i) values[i] = static_cast<int>(i);
+  std::vector<int> original = values;
+  rng.Shuffle(values.data(), values.size());
+  EXPECT_NE(values, original);
+}
+
+TEST(HashTest, HashU64Deterministic) {
+  EXPECT_EQ(HashU64(12345), HashU64(12345));
+  EXPECT_NE(HashU64(12345), HashU64(12346));
+}
+
+TEST(HashTest, VertexSetHashOrderIndependent) {
+  const std::uint32_t a[] = {1, 5, 9, 200};
+  const std::uint32_t b[] = {200, 9, 5, 1};
+  EXPECT_EQ(HashVertexSet(a, 4), HashVertexSet(b, 4));
+}
+
+TEST(HashTest, VertexSetHashSensitiveToMembership) {
+  const std::uint32_t a[] = {1, 5, 9};
+  const std::uint32_t b[] = {1, 5, 10};
+  const std::uint32_t c[] = {1, 5};
+  EXPECT_NE(HashVertexSet(a, 3), HashVertexSet(b, 3));
+  EXPECT_NE(HashVertexSet(a, 3), HashVertexSet(c, 2));
+}
+
+TEST(HashTest, EmptySetHashStable) {
+  EXPECT_EQ(HashVertexSet(nullptr, 0), HashVertexSet(nullptr, 0));
+}
+
+TEST(HashTest, FewCollisionsOnRandomSets) {
+  // 10k random 5-element sets: expect no collisions among distinct sets.
+  Rng rng(53);
+  std::set<std::uint64_t> hashes;
+  std::set<std::vector<std::uint32_t>> sets;
+  for (int i = 0; i < 10000; ++i) {
+    std::vector<std::uint32_t> s;
+    while (s.size() < 5) {
+      const auto v = static_cast<std::uint32_t>(rng.NextBounded(100000));
+      if (std::find(s.begin(), s.end(), v) == s.end()) s.push_back(v);
+    }
+    std::sort(s.begin(), s.end());
+    if (sets.insert(s).second) {
+      hashes.insert(HashVertexSet(s.data(), s.size()));
+    }
+  }
+  EXPECT_EQ(hashes.size(), sets.size());
+}
+
+}  // namespace
+}  // namespace ticl

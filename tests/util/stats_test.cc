@@ -1,0 +1,83 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace ticl {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleSample) {
+  RunningStats s;
+  s.Add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.min(), 4.5);
+  EXPECT_EQ(s.max(), 4.5);
+  EXPECT_EQ(s.mean(), 4.5);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSet) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+}
+
+TEST(RunningStatsTest, NegativeValues) {
+  RunningStats s;
+  s.Add(-10.0);
+  s.Add(10.0);
+  EXPECT_EQ(s.min(), -10.0);
+  EXPECT_EQ(s.max(), 10.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(PercentileTest, MedianOfOdd) {
+  EXPECT_DOUBLE_EQ(Percentile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(PercentileTest, Extremes) {
+  const std::vector<double> v{5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 9.0);
+}
+
+TEST(PercentileTest, InterpolatesBetweenRanks) {
+  // Sorted: 0, 10. q=0.5 -> 5.
+  EXPECT_DOUBLE_EQ(Percentile({10.0, 0.0}, 0.5), 5.0);
+}
+
+TEST(FormatTest, CommasSmall) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(5), "5");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+}
+
+TEST(FormatTest, CommasGroups) {
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(1049866), "1,049,866");
+  EXPECT_EQ(FormatWithCommas(1806067135), "1,806,067,135");
+}
+
+TEST(FormatTest, SecondsRanges) {
+  EXPECT_EQ(FormatSeconds(0.0000005), "0.5 us");
+  EXPECT_EQ(FormatSeconds(0.0123), "12.30 ms");
+  EXPECT_EQ(FormatSeconds(2.5), "2.50 s");
+}
+
+}  // namespace
+}  // namespace ticl

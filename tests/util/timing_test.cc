@@ -1,0 +1,37 @@
+#include "util/timing.h"
+
+#include <gtest/gtest.h>
+
+namespace ticl {
+namespace {
+
+TEST(WallTimerTest, ElapsedNonNegativeAndMonotone) {
+  WallTimer timer;
+  const double t1 = timer.ElapsedSeconds();
+  const double t2 = timer.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(WallTimerTest, MillisMatchesSeconds) {
+  WallTimer timer;
+  // Burn a little time so both reads are non-trivial.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
+  const double s = timer.ElapsedSeconds();
+  const double ms = timer.ElapsedMillis();
+  EXPECT_GE(ms, s * 1e3 * 0.5);
+}
+
+TEST(WallTimerTest, RestartResets) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 1000000; ++i) sink = sink + static_cast<double>(i);
+  const double before = timer.ElapsedSeconds();
+  timer.Restart();
+  const double after = timer.ElapsedSeconds();
+  EXPECT_LE(after, before);
+}
+
+}  // namespace
+}  // namespace ticl

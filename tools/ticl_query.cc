@@ -1,0 +1,358 @@
+// ticl_query — command-line front end for the library.
+//
+// Load (or generate) a weighted graph, run one top-r influential community
+// query, print the results as text or JSON, and validate them.
+//
+// Examples:
+//   ticl_query --graph g.txt --weight-scheme pagerank --k 4 --r 5 --f sum
+//   ticl_query --generate standin:dblp --k 4 --r 3 --s 20 --f avg
+//              --non-overlapping --output json
+//   ticl_query --graph g.txt --weights w.txt --k 2 --r 10 --f min
+//
+// Exit status: 0 on success, 1 on usage errors, 2 on IO errors,
+// 3 if result validation fails (library bug — please report).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "algo/weights.h"
+#include "core/search.h"
+#include "core/verification.h"
+#include "gen/chung_lu.h"
+#include "gen/dataset_suite.h"
+#include "graph/edge_list_io.h"
+
+namespace {
+
+struct CliOptions {
+  std::string graph_path;
+  std::string weights_path;
+  std::string weight_scheme = "pagerank";
+  std::string generate;  // "standin:<name>[@scale]" or "chung-lu:n,deg,gamma"
+  std::uint64_t seed = 0;
+  ticl::Query query;
+  std::string solver = "auto";
+  double epsilon = 0.1;
+  double alpha = 1.0;
+  double beta = 1.0;
+  std::string aggregation = "sum";
+  unsigned threads = 1;
+  std::string output = "text";
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: ticl_query (--graph PATH | --generate SPEC) [options]\n"
+      "\n"
+      "input:\n"
+      "  --graph PATH          SNAP-style edge list ('u v' per line)\n"
+      "  --weights PATH        'vertex weight' per line (optional)\n"
+      "  --weight-scheme S     pagerank|degree|uniform|lognormal "
+      "(default pagerank;\n"
+      "                        used when --weights is absent)\n"
+      "  --generate SPEC       standin:<email|dblp|youtube|orkut|"
+      "livejournal|friendster>[@scale]\n"
+      "                        or chung-lu:<n>,<avg_degree>,<gamma>\n"
+      "  --seed N              seed for random weight schemes/generators\n"
+      "\n"
+      "query:\n"
+      "  --k N                 degree constraint (default 1)\n"
+      "  --r N                 number of communities (default 1)\n"
+      "  --s N                 size constraint (default: unconstrained)\n"
+      "  --f NAME              min|max|sum|sum-surplus|avg|weight-density|"
+      "balanced-density\n"
+      "  --alpha X             sum-surplus parameter (default 1)\n"
+      "  --beta X              weight-density parameter (default 1)\n"
+      "  --non-overlapping     solve TONIC (disjoint results)\n"
+      "\n"
+      "solver:\n"
+      "  --solver NAME         auto|naive|improved|approx|exact|local-greedy|"
+      "local-random|\n"
+      "                        min-peel|max-components (default auto)\n"
+      "  --epsilon X           approximation ratio for --solver approx\n"
+      "  --threads N           parallel local search workers\n"
+      "\n"
+      "output:\n"
+      "  --output FMT          text|json (default text)\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options,
+               std::string* error) {
+  const auto need_value = [&](int i) -> const char* {
+    if (i + 1 >= argc) return nullptr;
+    return argv[i + 1];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto take = [&](std::string* out) {
+      const char* value = need_value(i);
+      if (value == nullptr) {
+        *error = "missing value for " + arg;
+        return false;
+      }
+      *out = value;
+      ++i;
+      return true;
+    };
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      options->help = true;
+    } else if (arg == "--graph") {
+      if (!take(&options->graph_path)) return false;
+    } else if (arg == "--weights") {
+      if (!take(&options->weights_path)) return false;
+    } else if (arg == "--weight-scheme") {
+      if (!take(&options->weight_scheme)) return false;
+    } else if (arg == "--generate") {
+      if (!take(&options->generate)) return false;
+    } else if (arg == "--seed") {
+      if (!take(&value)) return false;
+      options->seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (arg == "--k") {
+      if (!take(&value)) return false;
+      options->query.k =
+          static_cast<ticl::VertexId>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (arg == "--r") {
+      if (!take(&value)) return false;
+      options->query.r = static_cast<std::uint32_t>(
+          std::strtoul(value.c_str(), nullptr, 10));
+    } else if (arg == "--s") {
+      if (!take(&value)) return false;
+      options->query.size_limit =
+          static_cast<ticl::VertexId>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (arg == "--f") {
+      if (!take(&options->aggregation)) return false;
+    } else if (arg == "--alpha") {
+      if (!take(&value)) return false;
+      options->alpha = std::strtod(value.c_str(), nullptr);
+    } else if (arg == "--beta") {
+      if (!take(&value)) return false;
+      options->beta = std::strtod(value.c_str(), nullptr);
+    } else if (arg == "--non-overlapping") {
+      options->query.non_overlapping = true;
+    } else if (arg == "--solver") {
+      if (!take(&options->solver)) return false;
+    } else if (arg == "--epsilon") {
+      if (!take(&value)) return false;
+      options->epsilon = std::strtod(value.c_str(), nullptr);
+    } else if (arg == "--threads") {
+      if (!take(&value)) return false;
+      options->threads = static_cast<unsigned>(
+          std::strtoul(value.c_str(), nullptr, 10));
+    } else if (arg == "--output") {
+      if (!take(&options->output)) return false;
+    } else {
+      *error = "unknown argument: " + arg;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ResolveAggregation(const CliOptions& options, ticl::AggregationSpec* spec,
+                        std::string* error) {
+  const std::string& name = options.aggregation;
+  if (name == "min") {
+    *spec = ticl::AggregationSpec::Min();
+  } else if (name == "max") {
+    *spec = ticl::AggregationSpec::Max();
+  } else if (name == "sum") {
+    *spec = ticl::AggregationSpec::Sum();
+  } else if (name == "sum-surplus") {
+    *spec = ticl::AggregationSpec::SumSurplus(options.alpha);
+  } else if (name == "avg") {
+    *spec = ticl::AggregationSpec::Avg();
+  } else if (name == "weight-density") {
+    *spec = ticl::AggregationSpec::WeightDensity(options.beta);
+  } else if (name == "balanced-density") {
+    *spec = ticl::AggregationSpec::BalancedDensity();
+  } else {
+    *error = "unknown aggregation: " + name;
+    return false;
+  }
+  return true;
+}
+
+bool ResolveSolver(const std::string& name, ticl::SolverKind* kind,
+                   std::string* error) {
+  static const std::pair<const char*, ticl::SolverKind> kTable[] = {
+      {"auto", ticl::SolverKind::kAuto},
+      {"naive", ticl::SolverKind::kNaive},
+      {"improved", ticl::SolverKind::kImproved},
+      {"approx", ticl::SolverKind::kApprox},
+      {"exact", ticl::SolverKind::kExact},
+      {"local-greedy", ticl::SolverKind::kLocalGreedy},
+      {"local-random", ticl::SolverKind::kLocalRandom},
+      {"min-peel", ticl::SolverKind::kMinPeel},
+      {"max-components", ticl::SolverKind::kMaxComponents}};
+  for (const auto& [solver_name, solver_kind] : kTable) {
+    if (name == solver_name) {
+      *kind = solver_kind;
+      return true;
+    }
+  }
+  *error = "unknown solver: " + name;
+  return false;
+}
+
+bool BuildGraph(const CliOptions& options, ticl::Graph* g,
+                std::string* error) {
+  if (!options.generate.empty()) {
+    const std::string& spec = options.generate;
+    if (spec.rfind("standin:", 0) == 0) {
+      std::string name = spec.substr(8);
+      double scale = 1.0;
+      const std::size_t at = name.find('@');
+      if (at != std::string::npos) {
+        scale = std::strtod(name.c_str() + at + 1, nullptr);
+        if (scale <= 0.0) {
+          *error = "bad stand-in scale in " + spec;
+          return false;
+        }
+        name = name.substr(0, at);
+      }
+      for (const ticl::StandIn dataset : ticl::AllStandIns()) {
+        if (ticl::StandInName(dataset) == name) {
+          *g = ticl::GenerateStandIn(dataset, scale);
+          return true;
+        }
+      }
+      *error = "unknown stand-in dataset: " + name;
+      return false;
+    }
+    if (spec.rfind("chung-lu:", 0) == 0) {
+      ticl::ChungLuOptions cl;
+      unsigned long n = 0;
+      double deg = 0.0;
+      double gamma = 0.0;
+      if (std::sscanf(spec.c_str() + 9, "%lu,%lf,%lf", &n, &deg, &gamma) !=
+          3) {
+        *error = "expected chung-lu:<n>,<avg_degree>,<gamma>";
+        return false;
+      }
+      cl.num_vertices = static_cast<ticl::VertexId>(n);
+      cl.target_average_degree = deg;
+      cl.gamma = gamma;
+      cl.seed = options.seed;
+      *g = ticl::GenerateChungLu(cl);
+      return true;
+    }
+    *error = "unknown --generate spec: " + spec;
+    return false;
+  }
+  if (options.graph_path.empty()) {
+    *error = "one of --graph or --generate is required";
+    return false;
+  }
+  return ticl::LoadEdgeList(options.graph_path, g, error);
+}
+
+bool InstallWeights(const CliOptions& options, ticl::Graph* g,
+                    std::string* error) {
+  if (!options.weights_path.empty()) {
+    return ticl::LoadWeights(options.weights_path, g, error);
+  }
+  const std::string& scheme = options.weight_scheme;
+  if (scheme == "pagerank") {
+    ticl::AssignWeights(g, ticl::WeightScheme::kPageRank, options.seed);
+  } else if (scheme == "degree") {
+    ticl::AssignWeights(g, ticl::WeightScheme::kDegree, options.seed);
+  } else if (scheme == "uniform") {
+    ticl::AssignWeights(g, ticl::WeightScheme::kUniform, options.seed);
+  } else if (scheme == "lognormal") {
+    ticl::AssignWeights(g, ticl::WeightScheme::kLogNormal, options.seed);
+  } else {
+    *error = "unknown weight scheme: " + scheme;
+    return false;
+  }
+  return true;
+}
+
+void PrintText(const ticl::Query& query, const ticl::SearchResult& result) {
+  std::printf("%s -> %zu communities in %.2f ms\n",
+              ticl::QueryToString(query).c_str(), result.communities.size(),
+              result.stats.elapsed_seconds * 1e3);
+  for (std::size_t i = 0; i < result.communities.size(); ++i) {
+    // Cap the listing; use --output json for complete member lists.
+    std::printf("#%zu %s\n", i + 1,
+                ticl::CommunityToString(result.communities[i], 32).c_str());
+  }
+}
+
+void PrintJson(const ticl::Query& query, const ticl::SearchResult& result) {
+  std::printf("{\n  \"query\": \"%s\",\n  \"elapsed_seconds\": %.6f,\n",
+              ticl::QueryToString(query).c_str(),
+              result.stats.elapsed_seconds);
+  std::printf("  \"communities\": [\n");
+  for (std::size_t i = 0; i < result.communities.size(); ++i) {
+    const ticl::Community& c = result.communities[i];
+    std::printf("    {\"influence\": %.17g, \"members\": [", c.influence);
+    for (std::size_t j = 0; j < c.members.size(); ++j) {
+      std::printf("%s%u", j == 0 ? "" : ", ", c.members[j]);
+    }
+    std::printf("]}%s\n", i + 1 < result.communities.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  std::string error;
+  if (!ParseArgs(argc, argv, &options, &error)) {
+    std::fprintf(stderr, "error: %s\n\n", error.c_str());
+    PrintUsage();
+    return 1;
+  }
+  if (options.help || argc == 1) {
+    PrintUsage();
+    return 0;
+  }
+  if (!ResolveAggregation(options, &options.query.aggregation, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+
+  ticl::SolveOptions solve_options;
+  if (!ResolveSolver(options.solver, &solve_options.solver, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  solve_options.epsilon = options.epsilon;
+  solve_options.local.num_threads = options.threads;
+
+  ticl::Graph graph;
+  if (!BuildGraph(options, &graph, &error) ||
+      !InstallWeights(options, &graph, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+
+  const std::string query_problem = ticl::ValidateQuery(options.query, graph);
+  if (!query_problem.empty()) {
+    std::fprintf(stderr, "error: invalid query: %s\n", query_problem.c_str());
+    return 1;
+  }
+
+  const ticl::SearchResult result =
+      ticl::Solve(graph, options.query, solve_options);
+
+  if (options.output == "json") {
+    PrintJson(options.query, result);
+  } else {
+    PrintText(options.query, result);
+  }
+
+  const std::string problem =
+      ticl::ValidateResult(graph, options.query, result);
+  if (!problem.empty()) {
+    std::fprintf(stderr, "validation FAILED: %s\n", problem.c_str());
+    return 3;
+  }
+  return 0;
+}
