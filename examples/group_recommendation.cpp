@@ -63,6 +63,11 @@ int main() {
       std::printf("  suggestion %zu: %s\n", i + 1,
                   ticl::CommunityToString(result.communities[i], 6).c_str());
     }
+    const std::string bad = ticl::ValidateResult(social, query, result);
+    if (!bad.empty()) {
+      std::printf("validation FAILED: %s\n", bad.c_str());
+      return 1;
+    }
   }
 
   // Diversified slate: disjoint groups so each suggestion is genuinely new
@@ -76,5 +81,6 @@ int main() {
   }
   const std::string problem = ticl::ValidateResult(social, query, slate);
   std::printf("validation: %s\n", problem.empty() ? "OK" : problem.c_str());
-  return 0;
+  // Non-zero exit on failure so the example doubles as a smoke test.
+  return problem.empty() ? 0 : 1;
 }

@@ -50,8 +50,10 @@ int main() {
   }
 
   // Results are machine-checkable: every community is a connected k-core.
-  const std::string problem = ticl::ValidateResult(graph, query, result);
+  // Exiting non-zero on failure makes this example usable as a smoke test.
+  std::string problem = ticl::ValidateResult(graph, query, result);
   std::printf("\nvalidation: %s\n", problem.empty() ? "OK" : problem.c_str());
+  if (!problem.empty()) return 1;
 
   // Variations on the same graph: a size cap makes the problem NP-hard and
   // routes to the paper's local search; avg prefers small elite groups.
@@ -63,5 +65,10 @@ int main() {
               result.communities.empty()
                   ? "(none)"
                   : ticl::CommunityToString(result.communities[0], 8).c_str());
+  problem = ticl::ValidateResult(graph, query, result);
+  if (!problem.empty()) {
+    std::printf("validation FAILED: %s\n", problem.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -14,19 +14,28 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "algo/weights.h"
 #include "core/search.h"
+#include "core/verification.h"
 #include "gen/barabasi_albert.h"
 
 namespace {
 
-void ReportPlan(const ticl::Graph& team, const char* label,
-                const ticl::SearchResult& result) {
+/// Prints the plan; returns false (after reporting) when the result fails
+/// validation, so the example exits non-zero and works as a smoke test.
+bool ReportPlan(const ticl::Graph& team, const ticl::Query& query,
+                const char* label, const ticl::SearchResult& result) {
+  const std::string problem = ticl::ValidateResult(team, query, result);
+  if (!problem.empty()) {
+    std::printf("%-16s validation FAILED: %s\n", label, problem.c_str());
+    return false;
+  }
   if (result.communities.empty()) {
     std::printf("%-16s no feasible squad\n", label);
-    return;
+    return true;
   }
   const ticl::Community& keep = result.communities.front();
   double kept_ability = 0.0;
@@ -42,6 +51,7 @@ void ReportPlan(const ticl::Graph& team, const char* label,
   }
   if (keep.members.size() > 10) std::printf(" ...");
   std::printf("\n");
+  return true;
 }
 
 }  // namespace
@@ -64,21 +74,22 @@ int main() {
   query.r = 1;
   query.size_limit = 15;
 
+  bool ok = true;
   query.aggregation = ticl::AggregationSpec::Sum();
-  ReportPlan(team, "sum:", ticl::Solve(team, query));
+  ok &= ReportPlan(team, query, "sum:", ticl::Solve(team, query));
 
   query.aggregation = ticl::AggregationSpec::Max();
-  ReportPlan(team, "max:", ticl::Solve(team, query));
+  ok &= ReportPlan(team, query, "max:", ticl::Solve(team, query));
 
   // Each retained member costs 0.5 ability units per head (weight
   // density): favours smaller squads unless a member pulls their weight.
   query.aggregation = ticl::AggregationSpec::WeightDensity(0.5);
-  ReportPlan(team, "density(0.5):", ticl::Solve(team, query));
+  ok &= ReportPlan(team, query, "density(0.5):", ticl::Solve(team, query));
 
   // Tighter budget: the squad must shrink to 8.
   query.size_limit = 8;
   query.aggregation = ticl::AggregationSpec::Sum();
-  ReportPlan(team, "sum, s=8:", ticl::Solve(team, query));
+  ok &= ReportPlan(team, query, "sum, s=8:", ticl::Solve(team, query));
 
-  return 0;
+  return ok ? 0 : 1;
 }

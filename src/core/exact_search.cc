@@ -7,6 +7,7 @@
 #include "algo/core_decomposition.h"
 #include "algo/kcore_peeler.h"
 #include "core/verification.h"
+#include "serve/core_index.h"
 #include "util/check.h"
 #include "util/timing.h"
 #include "util/top_r_list.h"
@@ -163,7 +164,7 @@ SearchResult ExactSearch(const Graph& g, const Query& query,
   SearchResult result;
   SubsetPeeler peeler(g);
 
-  VertexList universe = MaximalKCore(g, query.k);
+  VertexList universe = IndexedMaximalKCore(options.core_index, g, query.k);
 
   if (!query.non_overlapping) {
     result.communities =

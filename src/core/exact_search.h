@@ -23,6 +23,8 @@
 
 namespace ticl {
 
+class CoreIndex;  // serve/core_index.h
+
 struct ExactOptions {
   /// Hard ceiling on subsets examined; the solver aborts (TICL_CHECK) when
   /// the instance would exceed it rather than silently running for hours.
@@ -34,6 +36,10 @@ struct ExactOptions {
   /// minimum vertex shares its value and only the maximal one is a
   /// community. O(candidates^2) subset checks — tiny inputs only.
   bool enforce_maximality = false;
+
+  /// Optional precomputed index for the queried graph; replaces the
+  /// initial universe computation without changing the result.
+  const CoreIndex* core_index = nullptr;
 };
 
 /// Preconditions (checked): valid query. Works for any aggregation, with or

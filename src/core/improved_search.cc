@@ -5,6 +5,7 @@
 
 #include "algo/core_decomposition.h"
 #include "algo/kcore_peeler.h"
+#include "serve/core_index.h"
 #include "util/check.h"
 #include "util/timing.h"
 #include "util/top_r_list.h"
@@ -129,11 +130,13 @@ double ChildValueBound(const AggregationSpec& spec, double parent_value,
   }
 }
 
-SearchResult TopRComponents(const Graph& g, const Query& query) {
+SearchResult TopRComponents(const Graph& g, const Query& query,
+                            const CoreIndex* core_index) {
   WallTimer timer;
   SearchResult result;
   TopRList<Community> top(query.r);
-  for (VertexList& component : KCoreComponents(g, query.k)) {
+  for (VertexList& component :
+       IndexedKCoreComponents(core_index, g, query.k)) {
     Community c = MakeCommunity(g, std::move(component), query.aggregation);
     ++result.stats.candidates_generated;
     const double influence = c.influence;
@@ -158,7 +161,9 @@ SearchResult ImprovedSearch(const Graph& g, const Query& query,
       IsMonotoneUnderRemoval(query.aggregation),
       "ImprovedSearch requires a monotone aggregation (sum family)");
   TICL_CHECK(options.epsilon >= 0.0 && options.epsilon < 1.0);
-  if (query.non_overlapping) return TopRComponents(g, query);
+  if (query.non_overlapping) {
+    return TopRComponents(g, query, options.core_index);
+  }
 
   WallTimer timer;
   SearchResult result;
@@ -168,7 +173,8 @@ SearchResult ImprovedSearch(const Graph& g, const Query& query,
   std::uint64_t sequence = 0;
 
   // Lines 1-2: seed with the k-core components.
-  for (VertexList& component : KCoreComponents(g, query.k)) {
+  for (VertexList& component :
+       IndexedKCoreComponents(options.core_index, g, query.k)) {
     Community c = MakeCommunity(g, std::move(component), query.aggregation);
     ++result.stats.candidates_generated;
     seen.insert(c.hash);

@@ -26,6 +26,8 @@
 
 namespace ticl {
 
+class CoreIndex;  // serve/core_index.h
+
 struct ImprovedOptions {
   /// Approximation ratio; 0 = exact ("Improve"), paper default 0.1 for
   /// "Approx".
@@ -36,6 +38,9 @@ struct ImprovedOptions {
   /// Exactness is unaffected (the top-r fixpoint is order-independent);
   /// the number of expansions is not.
   bool best_first = true;
+  /// Optional precomputed index for the queried graph; replaces the
+  /// seeding decomposition (Lines 1-2) without changing the result.
+  const CoreIndex* core_index = nullptr;
 };
 
 /// Preconditions (checked): valid query, size-unconstrained, monotone

@@ -7,6 +7,7 @@
 
 #include "algo/connectivity.h"
 #include "algo/core_decomposition.h"
+#include "serve/core_index.h"
 #include "util/check.h"
 #include "util/timing.h"
 #include "util/top_r_list.h"
@@ -214,7 +215,8 @@ SearchResult LocalSearch(const Graph& g, const Query& query,
                  "neighbourhood cap below the smallest possible k-core");
 
   // Line 1: restrict to the maximal k-core.
-  const VertexList core = MaximalKCore(g, query.k);
+  const VertexList core =
+      IndexedMaximalKCore(options.core_index, g, query.k);
   std::vector<std::uint8_t> in_core(g.num_vertices(), 0);
   for (const VertexId v : core) in_core[v] = 1;
   std::vector<std::uint8_t> removed(g.num_vertices(), 0);

@@ -31,6 +31,8 @@
 
 namespace ticl {
 
+class CoreIndex;  // serve/core_index.h
+
 /// Seed iteration order. The paper scans vertices in index order; visiting
 /// high-weight seeds first is an ablation knob (bench_ablation_seed_order).
 enum class SeedOrder {
@@ -54,6 +56,9 @@ struct LocalSearchOptions {
   /// vertex removals are inherently sequential, so it runs serially
   /// regardless of this setting.
   unsigned num_threads = 1;
+  /// Optional precomputed index for the queried graph; replaces the Line 1
+  /// maximal-k-core computation without changing the result.
+  const CoreIndex* core_index = nullptr;
 };
 
 /// Works for every aggregation, with or without size constraint, TIC or

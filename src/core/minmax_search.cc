@@ -5,6 +5,7 @@
 
 #include "algo/core_decomposition.h"
 #include "algo/kcore_peeler.h"
+#include "serve/core_index.h"
 #include "util/check.h"
 #include "util/timing.h"
 #include "util/top_r_list.h"
@@ -131,7 +132,8 @@ void MinTopRWithin(const Graph& g, const VertexList& members,
 
 }  // namespace
 
-SearchResult MinPeelSearch(const Graph& g, const Query& query) {
+SearchResult MinPeelSearch(const Graph& g, const Query& query,
+                           const CoreIndex* core_index) {
   TICL_CHECK_MSG(ValidateQuery(query, g).empty(), "invalid query");
   TICL_CHECK_MSG(query.aggregation.kind == Aggregation::kMin,
                  "MinPeelSearch is the f = min solver");
@@ -140,7 +142,7 @@ SearchResult MinPeelSearch(const Graph& g, const Query& query) {
   WallTimer timer;
   SearchResult result;
 
-  VertexList core = MaximalKCore(g, query.k);
+  VertexList core = IndexedMaximalKCore(core_index, g, query.k);
   if (!query.non_overlapping) {
     std::vector<Community> found;
     MinTopRWithin(g, core, query, query.r, &found, &result.stats);
@@ -179,7 +181,8 @@ SearchResult MinPeelSearch(const Graph& g, const Query& query) {
   return result;
 }
 
-SearchResult MaxComponentsSearch(const Graph& g, const Query& query) {
+SearchResult MaxComponentsSearch(const Graph& g, const Query& query,
+                                 const CoreIndex* core_index) {
   TICL_CHECK_MSG(ValidateQuery(query, g).empty(), "invalid query");
   TICL_CHECK_MSG(query.aggregation.kind == Aggregation::kMax,
                  "MaxComponentsSearch is the f = max solver");
@@ -188,7 +191,8 @@ SearchResult MaxComponentsSearch(const Graph& g, const Query& query) {
   WallTimer timer;
   SearchResult result;
   TopRList<Community> top(query.r);
-  for (VertexList& component : KCoreComponents(g, query.k)) {
+  for (VertexList& component :
+       IndexedKCoreComponents(core_index, g, query.k)) {
     Community c = MakeCommunity(g, std::move(component), query.aggregation);
     ++result.stats.candidates_generated;
     const double influence = c.influence;

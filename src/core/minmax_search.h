@@ -23,16 +23,22 @@
 
 namespace ticl {
 
+class CoreIndex;  // serve/core_index.h
+
 /// Preconditions (checked): valid query, aggregation kind kMin,
 /// size-unconstrained (the size-constrained variant is NP-hard; use
 /// LocalSearch). TONIC mode extracts the top-1 community, removes it, and
 /// repeats — results are disjoint and non-increasing in value.
-SearchResult MinPeelSearch(const Graph& g, const Query& query);
+/// `core_index`, when given, must be built from `g`; it replaces the
+/// initial decomposition without changing the result.
+SearchResult MinPeelSearch(const Graph& g, const Query& query,
+                           const CoreIndex* core_index = nullptr);
 
 /// Preconditions (checked): valid query, aggregation kind kMax,
 /// size-unconstrained. Results are the k-core components ranked by their
 /// maximum member weight (already disjoint, so TIC and TONIC coincide).
-SearchResult MaxComponentsSearch(const Graph& g, const Query& query);
+SearchResult MaxComponentsSearch(const Graph& g, const Query& query,
+                                 const CoreIndex* core_index = nullptr);
 
 }  // namespace ticl
 

@@ -6,6 +6,7 @@
 #include "algo/core_decomposition.h"
 #include "algo/kcore_peeler.h"
 #include "core/verification.h"
+#include "serve/core_index.h"
 #include "util/check.h"
 #include "util/timing.h"
 #include "util/top_r_list.h"
@@ -17,11 +18,13 @@ namespace {
 /// Shared by naive and improved search: the disjoint connected components of
 /// the maximal k-core are themselves maximal communities and dominate all of
 /// their subgraphs under monotone f, so for TONIC they are the answer.
-SearchResult TopRComponents(const Graph& g, const Query& query) {
+SearchResult TopRComponents(const Graph& g, const Query& query,
+                            const CoreIndex* core_index) {
   WallTimer timer;
   SearchResult result;
   TopRList<Community> top(query.r);
-  for (VertexList& component : KCoreComponents(g, query.k)) {
+  for (VertexList& component :
+       IndexedKCoreComponents(core_index, g, query.k)) {
     Community c =
         MakeCommunity(g, std::move(component), query.aggregation);
     ++result.stats.candidates_generated;
@@ -38,13 +41,14 @@ SearchResult TopRComponents(const Graph& g, const Query& query) {
 
 }  // namespace
 
-SearchResult NaiveSearch(const Graph& g, const Query& query) {
+SearchResult NaiveSearch(const Graph& g, const Query& query,
+                         const CoreIndex* core_index) {
   TICL_CHECK_MSG(ValidateQuery(query, g).empty(), "invalid query");
   TICL_CHECK_MSG(!query.size_constrained(),
                  "NaiveSearch solves the size-unconstrained problem only");
   TICL_CHECK_MSG(IsMonotoneUnderRemoval(query.aggregation),
                  "NaiveSearch requires a monotone aggregation (sum family)");
-  if (query.non_overlapping) return TopRComponents(g, query);
+  if (query.non_overlapping) return TopRComponents(g, query, core_index);
 
   WallTimer timer;
   SearchResult result;
@@ -53,7 +57,8 @@ SearchResult NaiveSearch(const Graph& g, const Query& query) {
 
   // Lines 1-2: L <- top-r components of the maximal k-core.
   TopRList<Community> top(query.r);
-  for (VertexList& component : KCoreComponents(g, query.k)) {
+  for (VertexList& component :
+       IndexedKCoreComponents(core_index, g, query.k)) {
     Community c =
         MakeCommunity(g, std::move(component), query.aggregation);
     ++result.stats.candidates_generated;

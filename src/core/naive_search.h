@@ -17,10 +17,15 @@
 
 namespace ticl {
 
+class CoreIndex;  // serve/core_index.h
+
 /// Preconditions (checked): valid query, size-unconstrained, monotone
 /// aggregation (IsMonotoneUnderRemoval). TONIC queries short-circuit to the
-/// top-r k-core components (paper §IV, "Non-overlapping").
-SearchResult NaiveSearch(const Graph& g, const Query& query);
+/// top-r k-core components (paper §IV, "Non-overlapping"). `core_index`,
+/// when given, must be built from `g`; it replaces the initial
+/// decomposition without changing the result.
+SearchResult NaiveSearch(const Graph& g, const Query& query,
+                         const CoreIndex* core_index = nullptr);
 
 }  // namespace ticl
 

@@ -52,33 +52,40 @@ SearchResult Solve(const Graph& g, const Query& query,
     case SolverKind::kAuto:
       break;  // unreachable
     case SolverKind::kNaive:
-      return NaiveSearch(g, query);
+      return NaiveSearch(g, query, options.core_index);
     case SolverKind::kImproved: {
       ImprovedOptions improved;
       improved.epsilon = 0.0;
+      improved.core_index = options.core_index;
       return ImprovedSearch(g, query, improved);
     }
     case SolverKind::kApprox: {
       ImprovedOptions improved;
       improved.epsilon = options.epsilon;
+      improved.core_index = options.core_index;
       return ImprovedSearch(g, query, improved);
     }
-    case SolverKind::kExact:
-      return ExactSearch(g, query, options.exact);
+    case SolverKind::kExact: {
+      ExactOptions exact = options.exact;
+      exact.core_index = options.core_index;
+      return ExactSearch(g, query, exact);
+    }
     case SolverKind::kLocalGreedy: {
       LocalSearchOptions local = options.local;
       local.greedy = true;
+      local.core_index = options.core_index;
       return LocalSearch(g, query, local);
     }
     case SolverKind::kLocalRandom: {
       LocalSearchOptions local = options.local;
       local.greedy = false;
+      local.core_index = options.core_index;
       return LocalSearch(g, query, local);
     }
     case SolverKind::kMinPeel:
-      return MinPeelSearch(g, query);
+      return MinPeelSearch(g, query, options.core_index);
     case SolverKind::kMaxComponents:
-      return MaxComponentsSearch(g, query);
+      return MaxComponentsSearch(g, query, options.core_index);
   }
   TICL_CHECK_MSG(false, "unknown solver kind");
   return {};

@@ -18,6 +18,8 @@
 
 namespace ticl {
 
+class CoreIndex;  // serve/core_index.h
+
 enum class SolverKind {
   /// Pick automatically from the aggregation's traits and the constraints:
   ///   node-dominated + unconstrained  -> min-peel / max-components
@@ -42,6 +44,11 @@ struct SolveOptions {
   double epsilon = 0.1;
   LocalSearchOptions local;
   ExactOptions exact;
+  /// Optional precomputed core index for the queried graph
+  /// (serve/core_index.h). When set, solvers seed from it instead of
+  /// re-running the O(n + m) core decomposition; results are identical.
+  /// Must have been built from the same Graph passed to Solve().
+  const CoreIndex* core_index = nullptr;
 };
 
 /// Runs the query. Preconditions of the selected solver are enforced with

@@ -1,0 +1,66 @@
+#include "serve/core_index.h"
+
+#include "algo/connectivity.h"
+#include "algo/core_decomposition.h"
+#include "util/check.h"
+
+namespace ticl {
+
+namespace {
+const VertexList kEmpty;
+}  // namespace
+
+CoreIndex::CoreIndex(const Graph& g) : g_(&g) {
+  CoreDecompositionResult decomp = CoreDecomposition(g);
+  core_ = std::move(decomp.core);
+  degeneracy_ = decomp.degeneracy;
+  cores_.resize(static_cast<std::size_t>(degeneracy_) + 1);
+  // Exact per-level sizes first (suffix sums of the core-number histogram)
+  // so each level allocates once.
+  std::vector<std::size_t> at_least(static_cast<std::size_t>(degeneracy_) + 2,
+                                    0);
+  for (const VertexId c : core_) ++at_least[c];
+  for (VertexId k = degeneracy_; k >= 1; --k) at_least[k] += at_least[k + 1];
+  for (VertexId k = 1; k <= degeneracy_; ++k) cores_[k].reserve(at_least[k]);
+  // One ascending sweep fills every level at once: v belongs to the maximal
+  // k-core for every k <= core(v), and pushing in vertex order keeps each
+  // level sorted without a per-level sort.
+  const VertexId n = g.num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId k = 1; k <= core_[v]; ++k) cores_[k].push_back(v);
+  }
+}
+
+std::size_t CoreIndex::CoreSize(VertexId k) const {
+  return CoreMembers(k).size();
+}
+
+const VertexList& CoreIndex::CoreMembers(VertexId k) const {
+  TICL_CHECK_MSG(k >= 1, "CoreIndex answers k >= 1");
+  if (k > degeneracy_) return kEmpty;
+  return cores_[k];
+}
+
+std::vector<VertexList> CoreIndex::CoreComponents(VertexId k) const {
+  const VertexList& members = CoreMembers(k);
+  if (members.empty()) return {};
+  return ComponentsOfSubset(*g_, members);
+}
+
+VertexList IndexedMaximalKCore(const CoreIndex* index, const Graph& g,
+                               VertexId k) {
+  if (index == nullptr) return MaximalKCore(g, k);
+  TICL_CHECK_MSG(&index->graph() == &g,
+                 "CoreIndex was built for a different graph");
+  return index->CoreMembers(k);
+}
+
+std::vector<VertexList> IndexedKCoreComponents(const CoreIndex* index,
+                                               const Graph& g, VertexId k) {
+  if (index == nullptr) return KCoreComponents(g, k);
+  TICL_CHECK_MSG(&index->graph() == &g,
+                 "CoreIndex was built for a different graph");
+  return index->CoreComponents(k);
+}
+
+}  // namespace ticl

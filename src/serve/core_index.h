@@ -1,0 +1,75 @@
+// Precomputed core-decomposition index.
+//
+// Every solver in src/core/ begins by materializing the maximal k-core (or
+// its connected components) of the query's k — and the library primitives
+// MaximalKCore / KCoreComponents re-run the full O(n + m) bucket peel each
+// call. That is the right trade for one-shot use; under the serve workload
+// (thousands of queries with varying k over one immutable graph) it is
+// pure repeated work. CoreIndex runs the decomposition once and stores,
+// for each k in [1, degeneracy], the sorted member list of the maximal
+// k-core (total memory: sum_v core(v) ids, i.e. at most n * degeneracy and
+// in practice far less), so per-query seeding drops from a graph-sized
+// peel to a copy proportional to the answer.
+//
+// The index is immutable after construction and safe to share across
+// threads. It is only meaningful for the exact Graph it was built from;
+// the helpers below TICL_CHECK that identity.
+
+#ifndef TICL_SERVE_CORE_INDEX_H_
+#define TICL_SERVE_CORE_INDEX_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ticl {
+
+class CoreIndex {
+ public:
+  /// Runs the O(n + m) decomposition and bucket-builds the per-k member
+  /// lists. The graph must outlive the index.
+  explicit CoreIndex(const Graph& g);
+
+  /// The graph this index describes.
+  const Graph& graph() const { return *g_; }
+
+  /// Largest k with a non-empty k-core (0 for edgeless graphs).
+  VertexId degeneracy() const { return degeneracy_; }
+
+  /// core_numbers()[v] = largest k such that v belongs to a k-core.
+  const std::vector<VertexId>& core_numbers() const { return core_; }
+
+  /// Member count of the maximal k-core (0 above the degeneracy).
+  std::size_t CoreSize(VertexId k) const;
+
+  /// Members of the maximal k-core, sorted ascending. Identical to
+  /// MaximalKCore(graph(), k) but O(|answer|) instead of O(n + m).
+  const VertexList& CoreMembers(VertexId k) const;
+
+  /// Connected components of the maximal k-core, each sorted ascending.
+  /// Identical to KCoreComponents(graph(), k); the BFS split runs on the
+  /// stored member list, so cost is proportional to the k-core, not the
+  /// graph.
+  std::vector<VertexList> CoreComponents(VertexId k) const;
+
+ private:
+  const Graph* g_;
+  std::vector<VertexId> core_;
+  VertexId degeneracy_ = 0;
+  /// cores_[k] = sorted members of the maximal k-core, k in [1, degeneracy].
+  /// cores_[0] is unused (k = 0 is the whole vertex set; queries need
+  /// k >= 1) and kEmpty is returned beyond the degeneracy.
+  std::vector<VertexList> cores_;
+};
+
+/// Seeding helpers used by the solvers: consult the index when one is
+/// supplied (checking it was built for `g`), else fall back to the
+/// from-scratch peel.
+VertexList IndexedMaximalKCore(const CoreIndex* index, const Graph& g,
+                               VertexId k);
+std::vector<VertexList> IndexedKCoreComponents(const CoreIndex* index,
+                                               const Graph& g, VertexId k);
+
+}  // namespace ticl
+
+#endif  // TICL_SERVE_CORE_INDEX_H_

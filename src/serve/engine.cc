@@ -1,0 +1,101 @@
+#include "serve/engine.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "util/check.h"
+
+namespace ticl {
+
+std::string CanonicalQueryKey(const Query& query) {
+  // Inactive parameters must not split the key space: alpha only matters
+  // under sum-surplus, beta only under weight density.
+  const double alpha = query.aggregation.kind == Aggregation::kSumSurplus
+                           ? query.aggregation.alpha
+                           : 0.0;
+  const double beta = query.aggregation.kind == Aggregation::kWeightDensity
+                          ? query.aggregation.beta
+                          : 0.0;
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "k=%u;r=%u;s=%u;no=%d;f=%d;a=%.17g;b=%.17g", query.k,
+                query.r, query.size_limit, query.non_overlapping ? 1 : 0,
+                static_cast<int>(query.aggregation.kind), alpha, beta);
+  return buffer;
+}
+
+QueryEngine::QueryEngine(Graph graph, EngineOptions options)
+    : graph_(std::move(graph)),
+      index_(graph_),
+      solve_options_(options.solve),
+      cache_capacity_(options.cache_capacity),
+      pool_(options.num_threads) {
+  TICL_CHECK_MSG(graph_.has_weights(),
+                 "QueryEngine needs a weighted graph (SetWeights first)");
+  solve_options_.core_index = &index_;
+}
+
+std::string QueryEngine::Validate(const Query& query) const {
+  return ValidateQuery(query, graph_);
+}
+
+EngineResponse QueryEngine::Run(const Query& query) {
+  const std::string key = CanonicalQueryKey(query);
+  if (auto cached = CacheLookup(key)) return {std::move(cached), true};
+  auto result =
+      std::make_shared<SearchResult>(Solve(graph_, query, solve_options_));
+  CacheInsert(key, result);
+  return {std::move(result), false};
+}
+
+std::future<EngineResponse> QueryEngine::Submit(const Query& query) {
+  auto task = std::make_shared<std::packaged_task<EngineResponse()>>(
+      [this, query] { return Run(query); });
+  auto future = task->get_future();
+  pool_.Submit([task] { (*task)(); });
+  return future;
+}
+
+EngineStats QueryEngine::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::shared_ptr<const SearchResult> QueryEngine::CacheLookup(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.queries;
+  if (cache_capacity_ == 0) {
+    ++stats_.cache_misses;
+    return nullptr;
+  }
+  const auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    ++stats_.cache_misses;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
+  ++stats_.cache_hits;
+  return it->second->second;
+}
+
+void QueryEngine::CacheInsert(const std::string& key,
+                              std::shared_ptr<const SearchResult> result) {
+  if (cache_capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    // A concurrent miss on the same key beat us here; keep the incumbent
+    // (both computed identical results) and just refresh recency.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(result));
+  cache_.emplace(key, lru_.begin());
+  if (lru_.size() > cache_capacity_) {
+    cache_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace ticl

@@ -1,0 +1,109 @@
+// QueryEngine: the index-and-serve layer over Solve().
+//
+// One engine owns one immutable weighted graph plus the precomputed
+// CoreIndex for it, an LRU cache of finished results keyed on the
+// canonicalized query, and a fixed thread pool. Callers either Run()
+// synchronously (the calling thread does the graph work) or Submit() to
+// the pool and collect a future. Either way the answer is exactly what a
+// direct Solve() on the same graph would return — the index only removes
+// the per-query re-peel, it never changes the candidate stream — which
+// the serve tests assert result-for-result.
+//
+// Thread safety: every public method is safe to call concurrently. Results
+// are handed out as shared_ptr<const SearchResult>; cached entries are
+// shared, never copied per hit.
+
+#ifndef TICL_SERVE_ENGINE_H_
+#define TICL_SERVE_ENGINE_H_
+
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/query.h"
+#include "core/result.h"
+#include "core/search.h"
+#include "graph/graph.h"
+#include "serve/core_index.h"
+#include "serve/thread_pool.h"
+
+namespace ticl {
+
+struct EngineOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  unsigned num_threads = 0;
+  /// LRU result-cache entries; 0 disables caching.
+  std::size_t cache_capacity = 1024;
+  /// Base solver configuration. The engine installs its own CoreIndex into
+  /// this before every dispatch; any caller-supplied core_index is ignored.
+  SolveOptions solve;
+};
+
+struct EngineStats {
+  std::uint64_t queries = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
+/// One answered query. `result` is shared with the cache — never mutated
+/// after construction.
+struct EngineResponse {
+  std::shared_ptr<const SearchResult> result;
+  bool cache_hit = false;
+};
+
+/// Canonical cache key: two queries map to the same key iff Solve() treats
+/// them identically (inactive aggregation parameters are normalized away,
+/// e.g. alpha is only part of the key under sum-surplus). Exposed for the
+/// tests and for external sharding layers that need a stable query hash.
+std::string CanonicalQueryKey(const Query& query);
+
+class QueryEngine {
+ public:
+  /// Takes ownership of the (weighted) graph and builds the core index.
+  explicit QueryEngine(Graph graph, EngineOptions options = {});
+
+  const Graph& graph() const { return graph_; }
+  const CoreIndex& core_index() const { return index_; }
+  unsigned num_threads() const { return pool_.num_threads(); }
+
+  /// ValidateQuery against the engine's graph ("" = fine). Callers should
+  /// gate on this; Run/Submit TICL_CHECK-abort on invalid queries just
+  /// like Solve().
+  std::string Validate(const Query& query) const;
+
+  /// Answers on the calling thread (cache -> indexed Solve -> cache fill).
+  EngineResponse Run(const Query& query);
+
+  /// Queues the query on the pool.
+  std::future<EngineResponse> Submit(const Query& query);
+
+  /// Cumulative counters (cache_hits + cache_misses == queries).
+  EngineStats stats() const;
+
+ private:
+  std::shared_ptr<const SearchResult> CacheLookup(const std::string& key);
+  void CacheInsert(const std::string& key,
+                   std::shared_ptr<const SearchResult> result);
+
+  const Graph graph_;
+  const CoreIndex index_;
+  SolveOptions solve_options_;
+  std::size_t cache_capacity_;
+
+  mutable std::mutex mutex_;
+  /// MRU-first recency list; the map points into it.
+  std::list<std::pair<std::string, std::shared_ptr<const SearchResult>>>
+      lru_;
+  std::unordered_map<std::string, decltype(lru_)::iterator> cache_;
+  EngineStats stats_;
+
+  ThreadPool pool_;  // declared last: workers must die before state above
+};
+
+}  // namespace ticl
+
+#endif  // TICL_SERVE_ENGINE_H_

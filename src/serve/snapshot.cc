@@ -1,0 +1,282 @@
+#include "serve/snapshot.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+namespace ticl {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'I', 'C', 'L', 'S', 'N', 'A', 'P'};
+constexpr std::uint32_t kFlagHasWeights = 1u << 0;
+
+/// FNV-1a 64-bit, processed incrementally across sections.
+class Fnv1a {
+ public:
+  void Update(const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  std::uint64_t Digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+/// fclose on scope exit; remove() the temp file unless committed.
+class FileGuard {
+ public:
+  FileGuard(std::FILE* f, std::string path) : f_(f), path_(std::move(path)) {}
+  ~FileGuard() {
+    if (f_ != nullptr) std::fclose(f_);
+    if (!committed_ && !path_.empty()) std::remove(path_.c_str());
+  }
+  void CloseAndCommit() {
+    std::fclose(f_);
+    f_ = nullptr;
+    committed_ = true;
+  }
+  std::FILE* get() { return f_; }
+
+ private:
+  std::FILE* f_;
+  std::string path_;
+  bool committed_ = false;
+};
+
+bool WriteChecked(std::FILE* f, Fnv1a* checksum, const void* data,
+                  std::size_t bytes, std::string* error) {
+  if (bytes == 0) return true;
+  if (std::fwrite(data, 1, bytes, f) != bytes) {
+    *error = "snapshot: short write";
+    return false;
+  }
+  if (checksum != nullptr) checksum->Update(data, bytes);
+  return true;
+}
+
+bool ReadChecked(std::FILE* f, Fnv1a* checksum, void* data, std::size_t bytes,
+                 const char* what, std::string* error) {
+  if (bytes == 0) return true;
+  if (std::fread(data, 1, bytes, f) != bytes) {
+    *error = std::string("snapshot: truncated file (while reading ") + what +
+             ")";
+    return false;
+  }
+  if (checksum != nullptr) checksum->Update(data, bytes);
+  return true;
+}
+
+/// The structural invariants Graph's CSR constructor assumes. Symmetry is
+/// not re-verified (O(m log d) — the writer only ever saw symmetric
+/// graphs); everything cheap and memory-safety-critical is.
+std::string ValidateCsr(const std::vector<EdgeIndex>& offsets,
+                        const std::vector<VertexId>& adjacency) {
+  if (offsets.empty()) return "offsets section empty";
+  if (offsets.front() != 0) return "offsets[0] != 0";
+  if (offsets.back() != adjacency.size()) {
+    return "offsets[n] does not match adjacency length";
+  }
+  const std::size_t n = offsets.size() - 1;
+  // Full monotonicity first: together with front == 0 and back ==
+  // adjacency.size() it bounds every edge range, so the per-edge loop
+  // below cannot index past the adjacency array even on hostile input.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (offsets[v] > offsets[v + 1]) return "offsets not monotone";
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    for (EdgeIndex e = offsets[v]; e < offsets[v + 1]; ++e) {
+      if (adjacency[e] >= n) return "neighbour id out of range";
+      if (adjacency[e] == static_cast<VertexId>(v)) return "self-loop";
+      if (e > offsets[v] && adjacency[e - 1] >= adjacency[e]) {
+        return "neighbour list not strictly ascending";
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+bool SaveSnapshot(const std::string& path, const Graph& g,
+                  std::string* error) {
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* raw = std::fopen(tmp_path.c_str(), "wb");
+  if (raw == nullptr) {
+    *error = "snapshot: cannot open " + tmp_path + " for writing";
+    return false;
+  }
+  FileGuard file(raw, tmp_path);
+
+  const std::uint32_t version = kSnapshotFormatVersion;
+  const std::uint32_t flags = g.has_weights() ? kFlagHasWeights : 0;
+  const std::uint64_t n = g.num_vertices();
+  const std::uint64_t adj_len = g.adjacency().size();
+
+  // num_vertices() == 0 graphs legitimately have an empty offsets array;
+  // normalize to the canonical one-entry [0] so loads round-trip.
+  const std::vector<EdgeIndex> empty_offsets{0};
+  const std::vector<EdgeIndex>& offsets =
+      g.offsets().empty() ? empty_offsets : g.offsets();
+
+  Fnv1a checksum;
+  std::FILE* f = file.get();
+  if (!WriteChecked(f, &checksum, kMagic, sizeof(kMagic), error) ||
+      !WriteChecked(f, &checksum, &version, sizeof(version), error) ||
+      !WriteChecked(f, &checksum, &flags, sizeof(flags), error) ||
+      !WriteChecked(f, &checksum, &n, sizeof(n), error) ||
+      !WriteChecked(f, &checksum, &adj_len, sizeof(adj_len), error) ||
+      !WriteChecked(f, &checksum, offsets.data(),
+                    offsets.size() * sizeof(EdgeIndex), error) ||
+      !WriteChecked(f, &checksum, g.adjacency().data(),
+                    adj_len * sizeof(VertexId), error)) {
+    return false;
+  }
+  if (g.has_weights() &&
+      !WriteChecked(f, &checksum, g.weights().data(), n * sizeof(Weight),
+                    error)) {
+    return false;
+  }
+  const std::uint64_t digest = checksum.Digest();
+  if (!WriteChecked(f, nullptr, &digest, sizeof(digest), error)) return false;
+  if (std::fflush(f) != 0) {
+    *error = "snapshot: flush failed";
+    return false;
+  }
+  file.CloseAndCommit();
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    *error = "snapshot: cannot rename " + tmp_path + " to " + path;
+    std::remove(tmp_path.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool LoadSnapshot(const std::string& path, Graph* out, std::string* error) {
+  std::FILE* raw = std::fopen(path.c_str(), "rb");
+  if (raw == nullptr) {
+    *error = "snapshot: cannot open " + path;
+    return false;
+  }
+  FileGuard file(raw, "");
+  std::FILE* f = file.get();
+
+  char magic[8];
+  std::uint32_t version = 0;
+  std::uint32_t flags = 0;
+  std::uint64_t n = 0;
+  std::uint64_t adj_len = 0;
+  Fnv1a checksum;
+  if (!ReadChecked(f, &checksum, magic, sizeof(magic), "magic", error)) {
+    return false;
+  }
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    *error = "snapshot: bad magic (not a TICL snapshot)";
+    return false;
+  }
+  if (!ReadChecked(f, &checksum, &version, sizeof(version), "version",
+                   error) ||
+      !ReadChecked(f, &checksum, &flags, sizeof(flags), "flags", error) ||
+      !ReadChecked(f, &checksum, &n, sizeof(n), "vertex count", error) ||
+      !ReadChecked(f, &checksum, &adj_len, sizeof(adj_len),
+                   "adjacency length", error)) {
+    return false;
+  }
+  if (version != kSnapshotFormatVersion) {
+    *error = "snapshot: unsupported format version " +
+             std::to_string(version) + " (expected " +
+             std::to_string(kSnapshotFormatVersion) + ")";
+    return false;
+  }
+  if ((flags & ~kFlagHasWeights) != 0) {
+    *error = "snapshot: unknown flag bits set";
+    return false;
+  }
+  if (n > static_cast<std::uint64_t>(kInvalidVertex)) {
+    *error = "snapshot: vertex count exceeds VertexId range";
+    return false;
+  }
+  // Reject sizes inconsistent with the actual file before allocating.
+  const long header_end = std::ftell(f);
+  if (header_end < 0 || std::fseek(f, 0, SEEK_END) != 0) {
+    *error = "snapshot: seek failed";
+    return false;
+  }
+  const long file_size = std::ftell(f);
+  if (file_size < 0) {
+    *error = "snapshot: seek failed";
+    return false;
+  }
+  // n is already bounded by the VertexId range (so the offsets/weights
+  // terms cannot overflow); bound adj_len by the actual file size before
+  // multiplying so a crafted header cannot wrap `expected` around and
+  // sneak past this check into a huge allocation.
+  if (adj_len > static_cast<std::uint64_t>(file_size) / sizeof(VertexId)) {
+    *error = "snapshot: declared adjacency length exceeds file size";
+    return false;
+  }
+  std::uint64_t expected = static_cast<std::uint64_t>(header_end);
+  expected += (n + 1) * sizeof(EdgeIndex);
+  expected += adj_len * sizeof(VertexId);
+  if ((flags & kFlagHasWeights) != 0) expected += n * sizeof(Weight);
+  expected += sizeof(std::uint64_t);  // checksum
+  if (static_cast<std::uint64_t>(file_size) != expected) {
+    *error = "snapshot: file size " + std::to_string(file_size) +
+             " does not match declared sections (expected " +
+             std::to_string(expected) + ")";
+    return false;
+  }
+  if (std::fseek(f, header_end, SEEK_SET) != 0) {
+    *error = "snapshot: seek failed";
+    return false;
+  }
+
+  std::vector<EdgeIndex> offsets(n + 1);
+  std::vector<VertexId> adjacency(adj_len);
+  std::vector<Weight> weights;
+  if (!ReadChecked(f, &checksum, offsets.data(),
+                   offsets.size() * sizeof(EdgeIndex), "offsets", error) ||
+      !ReadChecked(f, &checksum, adjacency.data(),
+                   adj_len * sizeof(VertexId), "adjacency", error)) {
+    return false;
+  }
+  if ((flags & kFlagHasWeights) != 0) {
+    weights.resize(n);
+    if (!ReadChecked(f, &checksum, weights.data(), n * sizeof(Weight),
+                     "weights", error)) {
+      return false;
+    }
+  }
+  std::uint64_t stored_digest = 0;
+  if (!ReadChecked(f, nullptr, &stored_digest, sizeof(stored_digest),
+                   "checksum", error)) {
+    return false;
+  }
+  if (stored_digest != checksum.Digest()) {
+    *error = "snapshot: checksum mismatch (file corrupted)";
+    return false;
+  }
+
+  const std::string csr_problem = ValidateCsr(offsets, adjacency);
+  if (!csr_problem.empty()) {
+    *error = "snapshot: invalid graph data: " + csr_problem;
+    return false;
+  }
+  for (const Weight w : weights) {
+    if (!(w >= 0.0)) {  // catches negatives and NaN
+      *error = "snapshot: negative or NaN vertex weight";
+      return false;
+    }
+  }
+
+  Graph loaded(std::move(offsets), std::move(adjacency));
+  if (!weights.empty()) loaded.SetWeights(std::move(weights));
+  *out = std::move(loaded);
+  return true;
+}
+
+}  // namespace ticl

@@ -1,0 +1,59 @@
+// Fixed-size worker pool for the query engine.
+//
+// Deliberately minimal: a mutex-guarded FIFO of std::function jobs drained
+// by N long-lived workers. Query execution is seconds-scale graph work, so
+// per-submit overhead is irrelevant; what matters is a bounded thread
+// count (one pool per engine, not one thread per request) and a clean
+// join-on-destruction so engines can be torn down safely mid-load.
+
+#ifndef TICL_SERVE_THREAD_POOL_H_
+#define TICL_SERVE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ticl {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1; 0 is clamped to
+  /// hardware_concurrency, itself clamped to at least 1).
+  explicit ThreadPool(unsigned num_threads);
+
+  /// Drains nothing: pending jobs still run, then workers exit and join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job. Must not be called after destruction begins.
+  void Submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished executing (not merely
+  /// been dequeued).
+  void Wait();
+
+  unsigned num_threads() const {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // dequeued but not yet finished
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ticl
+
+#endif  // TICL_SERVE_THREAD_POOL_H_

@@ -1,0 +1,154 @@
+#include "serve/core_index.h"
+
+#include <gtest/gtest.h>
+
+#include "algo/core_decomposition.h"
+#include "algo/weights.h"
+#include "core/search.h"
+#include "core/verification.h"
+#include "gen/chung_lu.h"
+#include "testing/builders.h"
+
+namespace ticl {
+namespace {
+
+using testing::TwoTrianglesAndK4;
+
+Graph WeightedChungLu(std::uint64_t seed) {
+  ChungLuOptions cl;
+  cl.num_vertices = 600;
+  cl.target_average_degree = 8.0;
+  cl.gamma = 2.5;
+  cl.seed = seed;
+  Graph g = GenerateChungLu(cl);
+  AssignWeights(&g, WeightScheme::kPageRank, seed);
+  return g;
+}
+
+TEST(CoreIndexTest, MatchesFromScratchPrimitives) {
+  for (const std::uint64_t seed : {3u, 11u}) {
+    const Graph g = WeightedChungLu(seed);
+    const CoreIndex index(g);
+    EXPECT_EQ(index.degeneracy(), CoreDecomposition(g).degeneracy);
+    // One past the degeneracy exercises the empty-core path.
+    for (VertexId k = 1; k <= index.degeneracy() + 1; ++k) {
+      EXPECT_EQ(index.CoreMembers(k), MaximalKCore(g, k)) << "k=" << k;
+      EXPECT_EQ(index.CoreComponents(k), KCoreComponents(g, k)) << "k=" << k;
+      EXPECT_EQ(index.CoreSize(k), MaximalKCore(g, k).size());
+    }
+  }
+}
+
+TEST(CoreIndexTest, CoreNumbersMatchDecomposition) {
+  const Graph g = TwoTrianglesAndK4();
+  const CoreIndex index(g);
+  const CoreDecompositionResult decomp = CoreDecomposition(g);
+  EXPECT_EQ(index.core_numbers(), decomp.core);
+  EXPECT_EQ(index.degeneracy(), 3u);  // the K4
+  EXPECT_EQ(index.CoreMembers(3), testing::Members({6, 7, 8, 9}));
+  EXPECT_TRUE(index.CoreMembers(4).empty());
+  EXPECT_TRUE(index.CoreComponents(4).empty());
+}
+
+TEST(CoreIndexTest, IndexedHelpersFallBackWithoutIndex) {
+  const Graph g = TwoTrianglesAndK4();
+  EXPECT_EQ(IndexedMaximalKCore(nullptr, g, 2), MaximalKCore(g, 2));
+  EXPECT_EQ(IndexedKCoreComponents(nullptr, g, 2), KCoreComponents(g, 2));
+  const CoreIndex index(g);
+  EXPECT_EQ(IndexedMaximalKCore(&index, g, 2), MaximalKCore(g, 2));
+  EXPECT_EQ(IndexedKCoreComponents(&index, g, 2), KCoreComponents(g, 2));
+}
+
+void ExpectIdenticalResults(const SearchResult& a, const SearchResult& b,
+                            const char* label) {
+  ASSERT_EQ(a.communities.size(), b.communities.size()) << label;
+  for (std::size_t i = 0; i < a.communities.size(); ++i) {
+    EXPECT_EQ(a.communities[i].members, b.communities[i].members)
+        << label << " community " << i;
+    EXPECT_EQ(a.communities[i].influence, b.communities[i].influence)
+        << label << " community " << i;
+  }
+}
+
+TEST(CoreIndexTest, SolveIdenticalWithAndWithoutIndex) {
+  const Graph g = WeightedChungLu(5);
+  const CoreIndex index(g);
+
+  SolveOptions indexed;
+  indexed.core_index = &index;
+  const SolveOptions direct;
+
+  for (const auto spec :
+       {AggregationSpec::Min(), AggregationSpec::Max(),
+        AggregationSpec::Sum(), AggregationSpec::SumSurplus(0.5),
+        AggregationSpec::Avg(), AggregationSpec::WeightDensity(1.0)}) {
+    for (const VertexId k : {2u, 3u}) {
+      for (const bool non_overlapping : {false, true}) {
+        Query q;
+        q.k = k;
+        q.r = 4;
+        q.non_overlapping = non_overlapping;
+        q.aggregation = spec;
+        const SearchResult with_index = Solve(g, q, indexed);
+        const SearchResult without = Solve(g, q, direct);
+        ExpectIdenticalResults(with_index, without,
+                               AggregationName(spec.kind).c_str());
+        EXPECT_EQ(ValidateResult(g, q, with_index), "");
+      }
+    }
+  }
+}
+
+TEST(CoreIndexTest, SolveIdenticalAcrossExplicitSolvers) {
+  const Graph g = TwoTrianglesAndK4();
+  const CoreIndex index(g);
+
+  Query q;
+  q.k = 2;
+  q.r = 3;
+  q.aggregation = AggregationSpec::Sum();
+
+  for (const SolverKind solver :
+       {SolverKind::kNaive, SolverKind::kImproved, SolverKind::kApprox,
+        SolverKind::kLocalGreedy, SolverKind::kLocalRandom}) {
+    SolveOptions indexed;
+    indexed.solver = solver;
+    indexed.core_index = &index;
+    SolveOptions direct;
+    direct.solver = solver;
+    ExpectIdenticalResults(Solve(g, q, indexed), Solve(g, q, direct),
+                           SolverKindName(solver).c_str());
+  }
+
+  // Exact needs a size limit to stay tiny; min/max need their aggregation.
+  q.size_limit = 4;
+  SolveOptions exact_indexed;
+  exact_indexed.solver = SolverKind::kExact;
+  exact_indexed.core_index = &index;
+  SolveOptions exact_direct;
+  exact_direct.solver = SolverKind::kExact;
+  ExpectIdenticalResults(Solve(g, q, exact_indexed),
+                         Solve(g, q, exact_direct), "exact");
+
+  q.size_limit = 0;
+  q.aggregation = AggregationSpec::Min();
+  SolveOptions min_indexed;
+  min_indexed.solver = SolverKind::kMinPeel;
+  min_indexed.core_index = &index;
+  SolveOptions min_direct;
+  min_direct.solver = SolverKind::kMinPeel;
+  ExpectIdenticalResults(Solve(g, q, min_indexed), Solve(g, q, min_direct),
+                         "min-peel");
+
+  q.aggregation = AggregationSpec::Max();
+  SolveOptions max_indexed;
+  max_indexed.solver = SolverKind::kMaxComponents;
+  max_indexed.core_index = &index;
+  SolveOptions max_direct;
+  max_direct.solver = SolverKind::kMaxComponents;
+  ExpectIdenticalResults(Solve(g, q, max_indexed), Solve(g, q, max_direct),
+                         "max-components");
+}
+
+}  // namespace
+}  // namespace ticl

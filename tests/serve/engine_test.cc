@@ -1,0 +1,230 @@
+#include "serve/engine.h"
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algo/weights.h"
+#include "core/verification.h"
+#include "gen/chung_lu.h"
+#include "testing/builders.h"
+
+namespace ticl {
+namespace {
+
+using testing::TwoTrianglesAndK4;
+
+Graph WeightedChungLu(std::uint64_t seed, VertexId n = 600) {
+  ChungLuOptions cl;
+  cl.num_vertices = n;
+  cl.target_average_degree = 8.0;
+  cl.gamma = 2.5;
+  cl.seed = seed;
+  Graph g = GenerateChungLu(cl);
+  AssignWeights(&g, WeightScheme::kPageRank, seed);
+  return g;
+}
+
+/// The mixed workload used across these tests: every aggregation family,
+/// TIC and TONIC, constrained and unconstrained.
+std::vector<Query> MixedQueries() {
+  std::vector<Query> queries;
+  for (const auto spec :
+       {AggregationSpec::Min(), AggregationSpec::Max(),
+        AggregationSpec::Sum(), AggregationSpec::SumSurplus(0.5),
+        AggregationSpec::Avg()}) {
+    for (const VertexId k : {2u, 3u}) {
+      for (const std::uint32_t r : {1u, 4u}) {
+        Query q;
+        q.k = k;
+        q.r = r;
+        q.aggregation = spec;
+        queries.push_back(q);
+      }
+    }
+  }
+  Query constrained;
+  constrained.k = 2;
+  constrained.r = 3;
+  constrained.size_limit = 10;
+  constrained.aggregation = AggregationSpec::Avg();
+  queries.push_back(constrained);
+  Query tonic;
+  tonic.k = 2;
+  tonic.r = 3;
+  tonic.non_overlapping = true;
+  tonic.aggregation = AggregationSpec::Sum();
+  queries.push_back(tonic);
+  return queries;
+}
+
+void ExpectIdentical(const SearchResult& a, const SearchResult& b,
+                     std::size_t query_index) {
+  ASSERT_EQ(a.communities.size(), b.communities.size())
+      << "query " << query_index;
+  for (std::size_t i = 0; i < a.communities.size(); ++i) {
+    EXPECT_EQ(a.communities[i].members, b.communities[i].members)
+        << "query " << query_index << " community " << i;
+    EXPECT_EQ(a.communities[i].influence, b.communities[i].influence)
+        << "query " << query_index << " community " << i;
+  }
+}
+
+TEST(CanonicalQueryKeyTest, NormalizesInactiveParameters) {
+  Query a;
+  a.aggregation = AggregationSpec::Sum();
+  Query b = a;
+  b.aggregation.alpha = 7.0;  // inactive under sum
+  b.aggregation.beta = 9.0;   // inactive under sum
+  EXPECT_EQ(CanonicalQueryKey(a), CanonicalQueryKey(b));
+
+  Query c = a;
+  c.aggregation = AggregationSpec::SumSurplus(1.0);
+  Query d = a;
+  d.aggregation = AggregationSpec::SumSurplus(2.0);
+  EXPECT_NE(CanonicalQueryKey(c), CanonicalQueryKey(d));  // alpha active
+
+  Query e = a;
+  e.k = 3;
+  EXPECT_NE(CanonicalQueryKey(a), CanonicalQueryKey(e));
+}
+
+TEST(QueryEngineTest, MatchesDirectSolveSequentially) {
+  Graph g = WeightedChungLu(17);
+  const Graph reference = g;  // engine takes ownership of its copy
+  EngineOptions options;
+  options.num_threads = 1;
+  QueryEngine engine(std::move(g), options);
+
+  const std::vector<Query> queries = MixedQueries();
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const EngineResponse response = engine.Run(queries[i]);
+    const SearchResult direct = Solve(reference, queries[i]);
+    ExpectIdentical(*response.result, direct, i);
+    EXPECT_EQ(ValidateResult(reference, queries[i], *response.result), "");
+  }
+}
+
+TEST(QueryEngineTest, ConcurrentSubmissionsMatchSequentialSolve) {
+  Graph g = WeightedChungLu(23);
+  const Graph reference = g;
+  EngineOptions options;
+  options.num_threads = 4;
+  options.cache_capacity = 0;  // force every run through the solver
+  QueryEngine engine(std::move(g), options);
+
+  const std::vector<Query> queries = MixedQueries();
+  constexpr int kRepetitions = 3;  // same query in flight multiple times
+
+  std::vector<std::future<EngineResponse>> futures;
+  for (int rep = 0; rep < kRepetitions; ++rep) {
+    for (const Query& q : queries) futures.push_back(engine.Submit(q));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Query& q = queries[i % queries.size()];
+    const EngineResponse response = futures[i].get();
+    const SearchResult direct = Solve(reference, q);
+    ExpectIdentical(*response.result, direct, i % queries.size());
+  }
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.queries, queries.size() * kRepetitions);
+  EXPECT_EQ(stats.cache_hits, 0u);
+}
+
+TEST(QueryEngineTest, ConcurrentSubmittersWithSharedCache) {
+  Graph g = WeightedChungLu(29, 300);
+  const Graph reference = g;
+  QueryEngine engine(std::move(g), {});
+
+  const std::vector<Query> queries = MixedQueries();
+  // Warm the cache sequentially so every threaded run below is a
+  // deterministic hit (capacity default comfortably exceeds the batch).
+  for (const Query& q : queries) engine.Run(q);
+
+  std::vector<std::thread> submitters;
+  std::atomic<bool> failed{false};
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      for (const Query& q : queries) {
+        const EngineResponse response = engine.Run(q);
+        if (!response.cache_hit ||
+            !ValidateResult(reference, q, *response.result).empty()) {
+          failed = true;
+        }
+      }
+    });
+  }
+  for (std::thread& s : submitters) s.join();
+  EXPECT_FALSE(failed.load());
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.queries, queries.size() * 5);
+  EXPECT_EQ(stats.cache_hits, queries.size() * 4);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses, stats.queries);
+}
+
+TEST(QueryEngineTest, CacheHitSharesTheResultObject) {
+  QueryEngine engine(TwoTrianglesAndK4(), {});
+  Query q;
+  q.k = 2;
+  q.r = 2;
+  q.aggregation = AggregationSpec::Sum();
+  const EngineResponse first = engine.Run(q);
+  EXPECT_FALSE(first.cache_hit);
+  const EngineResponse second = engine.Run(q);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(first.result.get(), second.result.get());
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.queries, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+}
+
+TEST(QueryEngineTest, LruEvictsLeastRecentlyUsed) {
+  EngineOptions options;
+  options.cache_capacity = 2;
+  options.num_threads = 1;
+  QueryEngine engine(TwoTrianglesAndK4(), options);
+
+  Query a, b, c;
+  a.k = 2;
+  a.r = 1;
+  b.k = 2;
+  b.r = 2;
+  c.k = 2;
+  c.r = 3;
+
+  engine.Run(a);                            // cache: [a]
+  engine.Run(b);                            // cache: [b, a]
+  EXPECT_TRUE(engine.Run(a).cache_hit);     // cache: [a, b]
+  engine.Run(c);                            // evicts b -> [c, a]
+  EXPECT_TRUE(engine.Run(a).cache_hit);     // a survived -> [a, c]
+  EXPECT_FALSE(engine.Run(b).cache_hit);    // b was evicted -> [b, a]
+  EXPECT_TRUE(engine.Run(a).cache_hit);     // a still resident
+}
+
+TEST(QueryEngineTest, CacheDisabledNeverHits) {
+  EngineOptions options;
+  options.cache_capacity = 0;
+  QueryEngine engine(TwoTrianglesAndK4(), options);
+  Query q;
+  q.k = 2;
+  engine.Run(q);
+  EXPECT_FALSE(engine.Run(q).cache_hit);
+  EXPECT_EQ(engine.stats().cache_hits, 0u);
+}
+
+TEST(QueryEngineTest, ValidateFlagsBadQueries) {
+  QueryEngine engine(TwoTrianglesAndK4(), {});
+  Query q;
+  q.k = 0;  // invalid: k >= 1 required
+  EXPECT_NE(engine.Validate(q), "");
+  q.k = 2;
+  EXPECT_EQ(engine.Validate(q), "");
+}
+
+}  // namespace
+}  // namespace ticl

@@ -1,0 +1,80 @@
+#include "serve/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ticl {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedJob) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&counter] { ++counter; });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, WaitCoversInFlightJobs) {
+  ThreadPool pool(2);
+  std::atomic<int> finished{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&finished] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      ++finished;
+    });
+  }
+  // Wait must block until jobs have *finished*, not merely been dequeued.
+  pool.Wait();
+  EXPECT_EQ(finished.load(), 8);
+}
+
+TEST(ThreadPoolTest, WaitWithNoWorkReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingJobs) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitFromWorkerThreads) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&pool, &counter] {
+      for (int i = 0; i < 25; ++i) {
+        pool.Submit([&counter] { ++counter; });
+      }
+    });
+  }
+  for (std::thread& s : submitters) s.join();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+}  // namespace
+}  // namespace ticl

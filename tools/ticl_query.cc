@@ -9,6 +9,11 @@
 //              --non-overlapping --output json
 //   ticl_query --graph g.txt --weights w.txt --k 2 --r 10 --f min
 //
+// Snapshot workflow (generate/weight once, query many times — see also
+// ticl_serve for batch serving):
+//   ticl_query --generate standin:dblp --save-snapshot dblp.snap
+//   ticl_query --snapshot dblp.snap --k 4 --r 5 --f sum
+//
 // Exit status: 0 on success, 1 on usage errors, 2 on IO errors,
 // 3 if result validation fails (library bug — please report).
 
@@ -24,6 +29,7 @@
 #include "gen/chung_lu.h"
 #include "gen/dataset_suite.h"
 #include "graph/edge_list_io.h"
+#include "serve/snapshot.h"
 
 namespace {
 
@@ -32,6 +38,8 @@ struct CliOptions {
   std::string weights_path;
   std::string weight_scheme = "pagerank";
   std::string generate;  // "standin:<name>[@scale]" or "chung-lu:n,deg,gamma"
+  std::string snapshot_path;       // load graph + weights from a snapshot
+  std::string save_snapshot_path;  // write the prepared graph and exit*
   std::uint64_t seed = 0;
   ticl::Query query;
   std::string solver = "auto";
@@ -42,6 +50,9 @@ struct CliOptions {
   unsigned threads = 1;
   std::string output = "text";
   bool help = false;
+  /// *unless a query/solver flag was also given, in which case the query
+  /// still runs after the save.
+  bool query_requested = false;
 };
 
 void PrintUsage() {
@@ -57,6 +68,10 @@ void PrintUsage() {
       "  --generate SPEC       standin:<email|dblp|youtube|orkut|"
       "livejournal|friendster>[@scale]\n"
       "                        or chung-lu:<n>,<avg_degree>,<gamma>\n"
+      "  --snapshot PATH       load graph + weights from a binary snapshot\n"
+      "  --save-snapshot PATH  write the prepared graph (weights included)\n"
+      "                        as a snapshot; exits after saving unless a\n"
+      "                        query flag is also given\n"
       "  --seed N              seed for random weight schemes/generators\n"
       "\n"
       "query:\n"
@@ -109,6 +124,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options,
       if (!take(&options->weight_scheme)) return false;
     } else if (arg == "--generate") {
       if (!take(&options->generate)) return false;
+    } else if (arg == "--snapshot") {
+      if (!take(&options->snapshot_path)) return false;
+    } else if (arg == "--save-snapshot") {
+      if (!take(&options->save_snapshot_path)) return false;
     } else if (arg == "--seed") {
       if (!take(&value)) return false;
       options->seed = std::strtoull(value.c_str(), nullptr, 10);
@@ -116,16 +135,20 @@ bool ParseArgs(int argc, char** argv, CliOptions* options,
       if (!take(&value)) return false;
       options->query.k =
           static_cast<ticl::VertexId>(std::strtoul(value.c_str(), nullptr, 10));
+      options->query_requested = true;
     } else if (arg == "--r") {
       if (!take(&value)) return false;
       options->query.r = static_cast<std::uint32_t>(
           std::strtoul(value.c_str(), nullptr, 10));
+      options->query_requested = true;
     } else if (arg == "--s") {
       if (!take(&value)) return false;
       options->query.size_limit =
           static_cast<ticl::VertexId>(std::strtoul(value.c_str(), nullptr, 10));
+      options->query_requested = true;
     } else if (arg == "--f") {
       if (!take(&options->aggregation)) return false;
+      options->query_requested = true;
     } else if (arg == "--alpha") {
       if (!take(&value)) return false;
       options->alpha = std::strtod(value.c_str(), nullptr);
@@ -134,8 +157,10 @@ bool ParseArgs(int argc, char** argv, CliOptions* options,
       options->beta = std::strtod(value.c_str(), nullptr);
     } else if (arg == "--non-overlapping") {
       options->query.non_overlapping = true;
+      options->query_requested = true;
     } else if (arg == "--solver") {
       if (!take(&options->solver)) return false;
+      options->query_requested = true;
     } else if (arg == "--epsilon") {
       if (!take(&value)) return false;
       options->epsilon = std::strtod(value.c_str(), nullptr);
@@ -201,6 +226,13 @@ bool ResolveSolver(const std::string& name, ticl::SolverKind* kind,
 
 bool BuildGraph(const CliOptions& options, ticl::Graph* g,
                 std::string* error) {
+  if (!options.snapshot_path.empty()) {
+    if (!options.generate.empty() || !options.graph_path.empty()) {
+      *error = "--snapshot excludes --graph and --generate";
+      return false;
+    }
+    return ticl::LoadSnapshot(options.snapshot_path, g, error);
+  }
   if (!options.generate.empty()) {
     const std::string& spec = options.generate;
     if (spec.rfind("standin:", 0) == 0) {
@@ -245,7 +277,7 @@ bool BuildGraph(const CliOptions& options, ticl::Graph* g,
     return false;
   }
   if (options.graph_path.empty()) {
-    *error = "one of --graph or --generate is required";
+    *error = "one of --graph, --generate or --snapshot is required";
     return false;
   }
   return ticl::LoadEdgeList(options.graph_path, g, error);
@@ -256,6 +288,8 @@ bool InstallWeights(const CliOptions& options, ticl::Graph* g,
   if (!options.weights_path.empty()) {
     return ticl::LoadWeights(options.weights_path, g, error);
   }
+  // Snapshot weights win unless explicitly overridden with --weights.
+  if (g->has_weights()) return true;
   const std::string& scheme = options.weight_scheme;
   if (scheme == "pagerank") {
     ticl::AssignWeights(g, ticl::WeightScheme::kPageRank, options.seed);
@@ -331,6 +365,18 @@ int main(int argc, char** argv) {
       !InstallWeights(options, &graph, &error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 2;
+  }
+
+  if (!options.save_snapshot_path.empty()) {
+    if (!ticl::SaveSnapshot(options.save_snapshot_path, graph, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "saved snapshot %s (n=%u m=%llu%s)\n",
+                 options.save_snapshot_path.c_str(), graph.num_vertices(),
+                 static_cast<unsigned long long>(graph.num_edges()),
+                 graph.has_weights() ? ", weighted" : "");
+    if (!options.query_requested) return 0;
   }
 
   const std::string query_problem = ticl::ValidateQuery(options.query, graph);

@@ -1,0 +1,462 @@
+// ticl_serve — batch query serving over a saved snapshot.
+//
+// Loads a snapshot once, builds the QueryEngine (core index + LRU result
+// cache + thread pool), then answers a JSONL stream of queries: one JSON
+// object per input line, one JSON result object per output line, in input
+// order. A throughput summary goes to stderr so stdout stays pure JSONL.
+//
+// Query lines (unknown fields ignored; all fields optional except k/r
+// defaults match ticl_query):
+//   {"id": "q1", "k": 4, "r": 5, "f": "sum"}
+//   {"id": 2, "k": 4, "r": 3, "s": 20, "f": "avg", "non_overlapping": true}
+//   {"k": 2, "r": 1, "f": "sum-surplus", "alpha": 0.5}
+//
+// Result lines:
+//   {"id": "q1", "query": "TIC k=4 r=5 f=sum", "cached": false,
+//    "elapsed_seconds": 0.0123,
+//    "communities": [{"influence": 42.0, "members": [1, 2, 3]}]}
+// or, for a malformed/invalid line:
+//   {"id": "q1", "error": "..."}
+//
+// Examples:
+//   ticl_query --generate standin:dblp --save-snapshot dblp.snap
+//   ticl_serve --snapshot dblp.snap --queries batch.jsonl --threads 8
+//   cat batch.jsonl | ticl_serve --snapshot dblp.snap
+//
+// Exit status: 0 on success, 1 on usage errors, 2 on IO errors,
+// 3 if any result fails validation (library bug — please report),
+// 4 if any query line was malformed or invalid (remaining lines are
+// still answered).
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/search.h"
+#include "core/verification.h"
+#include "serve/engine.h"
+#include "serve/snapshot.h"
+#include "util/timing.h"
+
+namespace {
+
+struct CliOptions {
+  std::string snapshot_path;
+  std::string queries_path = "-";  // "-" = stdin
+  unsigned threads = 0;            // 0 = hardware concurrency
+  std::size_t cache_capacity = 1024;
+  std::string solver = "auto";
+  double epsilon = 0.1;
+  unsigned repeat = 1;
+  bool validate = true;
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: ticl_serve --snapshot PATH [options]\n"
+      "\n"
+      "  --snapshot PATH   snapshot written by ticl_query --save-snapshot\n"
+      "  --queries PATH    JSONL query file, or '-' for stdin (default -)\n"
+      "  --threads N       worker threads (default: hardware concurrency)\n"
+      "  --cache N         LRU result-cache entries, 0 disables "
+      "(default 1024)\n"
+      "  --solver NAME     auto|naive|improved|approx|exact|local-greedy|\n"
+      "                    local-random|min-peel|max-components "
+      "(default auto)\n"
+      "  --epsilon X       approximation ratio for --solver approx\n"
+      "  --repeat N        run the batch N times (cache warm-up demo)\n"
+      "  --no-validate     skip per-result ValidateResult\n"
+      "\n"
+      "Query lines: {\"id\": ..., \"k\": 4, \"r\": 5, \"s\": 0,\n"
+      "              \"f\": \"sum\", \"alpha\": 1.0, \"beta\": 1.0,\n"
+      "              \"non_overlapping\": false}\n");
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* options,
+               std::string* error) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto take = [&](std::string* out) {
+      if (i + 1 >= argc) {
+        *error = "missing value for " + arg;
+        return false;
+      }
+      *out = argv[++i];
+      return true;
+    };
+    std::string value;
+    if (arg == "--help" || arg == "-h") {
+      options->help = true;
+    } else if (arg == "--snapshot") {
+      if (!take(&options->snapshot_path)) return false;
+    } else if (arg == "--queries") {
+      if (!take(&options->queries_path)) return false;
+    } else if (arg == "--threads") {
+      if (!take(&value)) return false;
+      options->threads =
+          static_cast<unsigned>(std::strtoul(value.c_str(), nullptr, 10));
+    } else if (arg == "--cache") {
+      if (!take(&value)) return false;
+      options->cache_capacity = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (arg == "--solver") {
+      if (!take(&options->solver)) return false;
+    } else if (arg == "--epsilon") {
+      if (!take(&value)) return false;
+      options->epsilon = std::strtod(value.c_str(), nullptr);
+    } else if (arg == "--repeat") {
+      if (!take(&value)) return false;
+      options->repeat =
+          static_cast<unsigned>(std::strtoul(value.c_str(), nullptr, 10));
+      if (options->repeat == 0) options->repeat = 1;
+    } else if (arg == "--no-validate") {
+      options->validate = false;
+    } else {
+      *error = "unknown argument: " + arg;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ResolveSolver(const std::string& name, ticl::SolverKind* kind) {
+  static const std::pair<const char*, ticl::SolverKind> kTable[] = {
+      {"auto", ticl::SolverKind::kAuto},
+      {"naive", ticl::SolverKind::kNaive},
+      {"improved", ticl::SolverKind::kImproved},
+      {"approx", ticl::SolverKind::kApprox},
+      {"exact", ticl::SolverKind::kExact},
+      {"local-greedy", ticl::SolverKind::kLocalGreedy},
+      {"local-random", ticl::SolverKind::kLocalRandom},
+      {"min-peel", ticl::SolverKind::kMinPeel},
+      {"max-components", ticl::SolverKind::kMaxComponents}};
+  for (const auto& [solver_name, solver_kind] : kTable) {
+    if (name == solver_name) {
+      *kind = solver_kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+// -- Flat-object JSON scanning ---------------------------------------------
+// The query lines are flat objects with scalar values, so a full JSON
+// parser would be dead weight; this extracts the raw token following
+// "key": (string tokens keep their quotes).
+
+bool JsonRawField(const std::string& line, const std::string& key,
+                  std::string* out) {
+  const std::string needle = "\"" + key + "\"";
+  std::size_t pos = 0;
+  while ((pos = line.find(needle, pos)) != std::string::npos) {
+    std::size_t p = pos + needle.size();
+    while (p < line.size() && std::isspace(static_cast<unsigned char>(line[p]))) {
+      ++p;
+    }
+    if (p >= line.size() || line[p] != ':') {
+      ++pos;  // matched a string value, not a key
+      continue;
+    }
+    ++p;
+    while (p < line.size() && std::isspace(static_cast<unsigned char>(line[p]))) {
+      ++p;
+    }
+    if (p >= line.size()) return false;
+    std::size_t end = p;
+    if (line[p] == '"') {
+      end = p + 1;
+      while (end < line.size() && line[end] != '"') {
+        if (line[end] == '\\') ++end;
+        ++end;
+      }
+      if (end >= line.size()) return false;
+      ++end;  // include closing quote
+    } else {
+      while (end < line.size() && line[end] != ',' && line[end] != '}') {
+        ++end;
+      }
+    }
+    *out = line.substr(p, end - p);
+    while (!out->empty() &&
+           std::isspace(static_cast<unsigned char>(out->back()))) {
+      out->pop_back();
+    }
+    return true;
+  }
+  return false;
+}
+
+bool JsonStringField(const std::string& line, const std::string& key,
+                     std::string* out) {
+  std::string raw;
+  if (!JsonRawField(line, key, &raw)) return false;
+  if (raw.size() < 2 || raw.front() != '"' || raw.back() != '"') return false;
+  *out = raw.substr(1, raw.size() - 2);
+  return true;
+}
+
+bool JsonNumberField(const std::string& line, const std::string& key,
+                     double* out) {
+  std::string raw;
+  if (!JsonRawField(line, key, &raw)) return false;
+  char* end = nullptr;
+  *out = std::strtod(raw.c_str(), &end);
+  return end != raw.c_str();
+}
+
+bool JsonBoolField(const std::string& line, const std::string& key,
+                   bool* out) {
+  std::string raw;
+  if (!JsonRawField(line, key, &raw)) return false;
+  if (raw == "true") {
+    *out = true;
+    return true;
+  }
+  if (raw == "false") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+/// Double -> uint32 with an explicit range check: the raw cast is UB for
+/// negative or oversized values, and those are exactly what malformed
+/// input lines contain.
+bool CheckedU32(double number, std::uint32_t* out) {
+  if (!(number >= 0.0) || number > 4294967295.0) return false;
+  *out = static_cast<std::uint32_t>(number);
+  return true;
+}
+
+/// Parses one JSONL line into a Query. `id_json` receives the raw "id"
+/// token when it is a scalar (echoing it back stays valid JSON) or a
+/// synthesized line number.
+bool ParseQueryLine(const std::string& line, std::size_t line_number,
+                    ticl::Query* query, std::string* id_json,
+                    std::string* error) {
+  if (!JsonRawField(line, "id", id_json) || id_json->empty() ||
+      (*id_json)[0] == '[' || (*id_json)[0] == '{') {
+    // Missing id, or a composite value JsonRawField would truncate at the
+    // first ',' — echoing that back would corrupt the output JSONL.
+    *id_json = std::to_string(line_number);
+  }
+  double number = 0.0;
+  if (JsonNumberField(line, "k", &number) && !CheckedU32(number, &query->k)) {
+    *error = "k out of range";
+    return false;
+  }
+  if (JsonNumberField(line, "r", &number) && !CheckedU32(number, &query->r)) {
+    *error = "r out of range";
+    return false;
+  }
+  if (JsonNumberField(line, "s", &number) &&
+      !CheckedU32(number, &query->size_limit)) {
+    *error = "s out of range";
+    return false;
+  }
+  JsonBoolField(line, "non_overlapping", &query->non_overlapping);
+
+  double alpha = 1.0;
+  double beta = 1.0;
+  JsonNumberField(line, "alpha", &alpha);
+  JsonNumberField(line, "beta", &beta);
+  std::string f = "sum";
+  JsonStringField(line, "f", &f);
+  if (f == "min") {
+    query->aggregation = ticl::AggregationSpec::Min();
+  } else if (f == "max") {
+    query->aggregation = ticl::AggregationSpec::Max();
+  } else if (f == "sum") {
+    query->aggregation = ticl::AggregationSpec::Sum();
+  } else if (f == "sum-surplus") {
+    query->aggregation = ticl::AggregationSpec::SumSurplus(alpha);
+  } else if (f == "avg") {
+    query->aggregation = ticl::AggregationSpec::Avg();
+  } else if (f == "weight-density") {
+    query->aggregation = ticl::AggregationSpec::WeightDensity(beta);
+  } else if (f == "balanced-density") {
+    query->aggregation = ticl::AggregationSpec::BalancedDensity();
+  } else {
+    *error = "unknown aggregation: " + f;
+    return false;
+  }
+  return true;
+}
+
+void PrintResultLine(const std::string& id_json, const ticl::Query& query,
+                     const ticl::SearchResult& result, bool cached) {
+  std::printf("{\"id\": %s, \"query\": \"%s\", \"cached\": %s, "
+              "\"elapsed_seconds\": %.6f, \"communities\": [",
+              id_json.c_str(), ticl::QueryToString(query).c_str(),
+              cached ? "true" : "false", result.stats.elapsed_seconds);
+  for (std::size_t i = 0; i < result.communities.size(); ++i) {
+    const ticl::Community& c = result.communities[i];
+    std::printf("%s{\"influence\": %.17g, \"members\": [",
+                i == 0 ? "" : ", ", c.influence);
+    for (std::size_t j = 0; j < c.members.size(); ++j) {
+      std::printf("%s%u", j == 0 ? "" : ", ", c.members[j]);
+    }
+    std::printf("]}");
+  }
+  std::printf("]}\n");
+}
+
+struct PendingQuery {
+  std::string id_json;
+  ticl::Query query;
+  std::future<ticl::EngineResponse> future;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions options;
+  std::string error;
+  if (!ParseArgs(argc, argv, &options, &error)) {
+    std::fprintf(stderr, "error: %s\n\n", error.c_str());
+    PrintUsage();
+    return 1;
+  }
+  if (options.help || argc == 1) {
+    PrintUsage();
+    return 0;
+  }
+  if (options.snapshot_path.empty()) {
+    std::fprintf(stderr, "error: --snapshot is required\n\n");
+    PrintUsage();
+    return 1;
+  }
+
+  ticl::EngineOptions engine_options;
+  engine_options.num_threads = options.threads;
+  engine_options.cache_capacity = options.cache_capacity;
+  engine_options.solve.epsilon = options.epsilon;
+  if (!ResolveSolver(options.solver, &engine_options.solve.solver)) {
+    std::fprintf(stderr, "error: unknown solver: %s\n", options.solver.c_str());
+    return 1;
+  }
+
+  ticl::Graph graph;
+  ticl::WallTimer load_timer;
+  if (!ticl::LoadSnapshot(options.snapshot_path, &graph, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 2;
+  }
+  if (!graph.has_weights()) {
+    std::fprintf(stderr,
+                 "error: snapshot has no vertex weights; re-save it from a "
+                 "weighted graph\n");
+    return 2;
+  }
+  const double load_seconds = load_timer.ElapsedSeconds();
+
+  ticl::WallTimer index_timer;
+  ticl::QueryEngine engine(std::move(graph), engine_options);
+  const double index_seconds = index_timer.ElapsedSeconds();
+  std::fprintf(stderr,
+               "loaded %s in %.3fs (n=%u m=%llu), core index (k_max=%u) in "
+               "%.3fs, %u worker threads\n",
+               options.snapshot_path.c_str(), load_seconds,
+               engine.graph().num_vertices(),
+               static_cast<unsigned long long>(engine.graph().num_edges()),
+               engine.core_index().degeneracy(), index_seconds,
+               engine.num_threads());
+
+  std::FILE* in = stdin;
+  if (options.queries_path != "-") {
+    in = std::fopen(options.queries_path.c_str(), "r");
+    if (in == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s\n",
+                   options.queries_path.c_str());
+      return 2;
+    }
+  }
+
+  // Read the whole batch up front (it is line-oriented and tiny relative
+  // to the graph) so submission saturates the pool immediately.
+  std::vector<std::string> lines;
+  {
+    std::string line;
+    int ch;
+    while ((ch = std::fgetc(in)) != EOF) {
+      if (ch == '\n') {
+        lines.push_back(std::move(line));
+        line.clear();
+      } else {
+        line.push_back(static_cast<char>(ch));
+      }
+    }
+    if (!line.empty()) lines.push_back(std::move(line));
+  }
+  if (in != stdin) std::fclose(in);
+
+  bool had_bad_input = false;
+  bool had_validation_failure = false;
+  std::size_t answered = 0;
+  ticl::WallTimer batch_timer;
+  for (unsigned round = 0; round < options.repeat; ++round) {
+    std::vector<PendingQuery> pending;
+    pending.reserve(lines.size());
+    std::size_t line_number = 0;
+    for (const std::string& line : lines) {
+      ++line_number;
+      // Skip blanks and comment lines.
+      std::size_t first = line.find_first_not_of(" \t\r");
+      if (first == std::string::npos || line[first] == '#') continue;
+
+      PendingQuery entry;
+      if (!ParseQueryLine(line, line_number, &entry.query, &entry.id_json,
+                          &error)) {
+        std::printf("{\"id\": %s, \"error\": \"%s\"}\n",
+                    entry.id_json.c_str(), error.c_str());
+        had_bad_input = true;
+        continue;
+      }
+      const std::string problem = engine.Validate(entry.query);
+      if (!problem.empty()) {
+        std::printf("{\"id\": %s, \"error\": \"invalid query: %s\"}\n",
+                    entry.id_json.c_str(), problem.c_str());
+        had_bad_input = true;
+        continue;
+      }
+      entry.future = engine.Submit(entry.query);
+      pending.push_back(std::move(entry));
+    }
+
+    for (PendingQuery& entry : pending) {
+      const ticl::EngineResponse response = entry.future.get();
+      PrintResultLine(entry.id_json, entry.query, *response.result,
+                      response.cache_hit);
+      ++answered;
+      if (options.validate) {
+        const std::string problem = ticl::ValidateResult(
+            engine.graph(), entry.query, *response.result);
+        if (!problem.empty()) {
+          std::fprintf(stderr, "validation FAILED (id %s): %s\n",
+                       entry.id_json.c_str(), problem.c_str());
+          had_validation_failure = true;
+        }
+      }
+    }
+  }
+  const double batch_seconds = batch_timer.ElapsedSeconds();
+
+  const ticl::EngineStats stats = engine.stats();
+  std::fprintf(stderr,
+               "%zu queries in %.3fs (%.1f queries/s), cache %llu hits / "
+               "%llu misses\n",
+               answered, batch_seconds,
+               batch_seconds > 0.0 ? answered / batch_seconds : 0.0,
+               static_cast<unsigned long long>(stats.cache_hits),
+               static_cast<unsigned long long>(stats.cache_misses));
+
+  if (had_validation_failure) return 3;
+  if (had_bad_input) return 4;
+  return 0;
+}
