@@ -71,7 +71,7 @@ void BM_Engine(benchmark::State& state, ticl::StandIn dataset,
   // steady-state serving; keep it outside the timed loop.
   ticl::EngineOptions options;
   options.num_threads = threads;
-  options.cache_capacity = cache ? 1024 : 0;
+  options.cache_member_budget = cache ? (1u << 20) : 0;
   ticl::QueryEngine engine(ticl::Graph(Dataset(dataset)), options);
   const std::vector<ticl::Query> batch = MixedBatch(dataset);
 

@@ -34,7 +34,7 @@ ComponentLabels ConnectedComponents(const Graph& g) {
 }
 
 std::vector<VertexList> ComponentsOfSubset(const Graph& g,
-                                           const VertexList& members) {
+                                           std::span<const VertexId> members) {
   // Hash-set membership keeps this O(sum of degrees) without O(n) scratch,
   // so it stays cheap when called with many small subsets.
   std::unordered_set<VertexId> in_set(members.begin(), members.end());

@@ -6,6 +6,7 @@
 #define TICL_ALGO_CONNECTIVITY_H_
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
@@ -23,9 +24,11 @@ ComponentLabels ConnectedComponents(const Graph& g);
 
 /// Connected components of the subgraph induced by `members`.
 /// Each returned component is sorted ascending. `members` must not contain
-/// duplicates. Complexity O(sum of member degrees).
+/// duplicates. Complexity O(sum of member degrees). Takes a span so callers
+/// holding zero-copy views (CoreIndex member lists over a mapped snapshot)
+/// avoid materializing a vector.
 std::vector<VertexList> ComponentsOfSubset(const Graph& g,
-                                           const VertexList& members);
+                                           std::span<const VertexId> members);
 
 /// True if the subgraph induced by `members` is connected (empty sets and
 /// singletons count as connected).

@@ -1,5 +1,6 @@
 #include "core/search.h"
 
+#include "serve/core_index.h"
 #include "util/check.h"
 
 namespace ticl {
@@ -46,6 +47,16 @@ SolverKind AutoSolverFor(const Query& query) {
 
 SearchResult Solve(const Graph& g, const Query& query,
                    const SolveOptions& options) {
+  // A CoreIndex seeds the solvers with precomputed k-cores; one built for a
+  // different graph would silently return wrong communities. The
+  // fingerprint (n, 2m, CSR hash) makes the mismatch loud, and unlike
+  // pointer identity it accepts an index deserialized from a snapshot or
+  // built from an identical copy of the graph.
+  if (options.core_index != nullptr) {
+    TICL_CHECK_MSG(
+        options.core_index->fingerprint() == g.fingerprint(),
+        "SolveOptions::core_index was built for a different graph");
+  }
   SolverKind solver = options.solver;
   if (solver == SolverKind::kAuto) solver = AutoSolverFor(query);
   switch (solver) {

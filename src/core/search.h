@@ -47,7 +47,10 @@ struct SolveOptions {
   /// Optional precomputed core index for the queried graph
   /// (serve/core_index.h). When set, solvers seed from it instead of
   /// re-running the O(n + m) core decomposition; results are identical.
-  /// Must have been built from the same Graph passed to Solve().
+  /// Must have been built from a graph with the same fingerprint as the
+  /// one passed to Solve() — Solve TICL_CHECKs this, so an index for a
+  /// different graph aborts instead of silently returning wrong
+  /// communities.
   const CoreIndex* core_index = nullptr;
 };
 

@@ -1,21 +1,154 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/check.h"
 
 namespace ticl {
 
+namespace {
+
+inline constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ULL;
+
+/// FNV-1a over the array viewed as little-endian uint64 words (tail
+/// zero-padded), chained through `h`. 8x fewer multiplies than the
+/// byte-serial variant — the fingerprint is computed eagerly for every
+/// Graph, including solver-internal induced subgraphs, so the constant
+/// matters. Not interchangeable with the byte-serial file checksum; this
+/// hash only ever meets other fingerprints.
+std::uint64_t HashWords(std::uint64_t h, const void* data,
+                        std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  while (bytes > 0) {
+    std::uint64_t word = 0;
+    const std::size_t take = bytes < 8 ? bytes : 8;
+    std::memcpy(&word, p, take);
+    h ^= word;
+    h *= 0x100000001b3ULL;
+    p += take;
+    bytes -= take;
+  }
+  return h;
+}
+
+}  // namespace
+
 Graph::Graph(std::vector<EdgeIndex> offsets, std::vector<VertexId> adjacency)
-    : offsets_(std::move(offsets)), adjacency_(std::move(adjacency)) {
+    : owned_offsets_(std::move(offsets)),
+      owned_adjacency_(std::move(adjacency)),
+      offsets_(owned_offsets_),
+      adjacency_(owned_adjacency_) {
+  InitTopology();
+}
+
+Graph Graph::FromExternal(std::span<const EdgeIndex> offsets,
+                          std::span<const VertexId> adjacency,
+                          std::span<const Weight> weights) {
+  Graph g;
+  g.offsets_ = offsets;
+  g.adjacency_ = adjacency;
+  g.InitTopology();
+  if (!weights.empty()) {
+    TICL_CHECK(weights.size() == g.num_vertices());
+    g.weights_ = weights;
+    g.InitWeights();
+  }
+  return g;
+}
+
+Graph::Graph(const Graph& other) { *this = other; }
+
+Graph& Graph::operator=(const Graph& other) {
+  if (this == &other) return *this;
+  // Deep copy through the views: the copy is self-contained regardless of
+  // whether `other` owned its storage or wrapped external memory.
+  owned_offsets_.assign(other.offsets_.begin(), other.offsets_.end());
+  owned_adjacency_.assign(other.adjacency_.begin(), other.adjacency_.end());
+  owned_weights_.assign(other.weights_.begin(), other.weights_.end());
+  offsets_ = owned_offsets_;
+  adjacency_ = owned_adjacency_;
+  weights_ = owned_weights_;
+  total_weight_ = other.total_weight_;
+  max_degree_ = other.max_degree_;
+  fingerprint_ = other.fingerprint_;
+  return *this;
+}
+
+Graph::Graph(Graph&& other) noexcept
+    : owned_offsets_(std::move(other.owned_offsets_)),
+      owned_adjacency_(std::move(other.owned_adjacency_)),
+      owned_weights_(std::move(other.owned_weights_)),
+      // Vector moves keep the heap buffers alive at the same addresses, so
+      // spans into owned storage stay valid; spans over external memory are
+      // unaffected either way.
+      offsets_(other.offsets_),
+      adjacency_(other.adjacency_),
+      weights_(other.weights_),
+      total_weight_(other.total_weight_),
+      max_degree_(other.max_degree_),
+      fingerprint_(other.fingerprint_) {
+  other.Clear();
+}
+
+Graph& Graph::operator=(Graph&& other) noexcept {
+  if (this == &other) return *this;
+  owned_offsets_ = std::move(other.owned_offsets_);
+  owned_adjacency_ = std::move(other.owned_adjacency_);
+  owned_weights_ = std::move(other.owned_weights_);
+  offsets_ = other.offsets_;
+  adjacency_ = other.adjacency_;
+  weights_ = other.weights_;
+  total_weight_ = other.total_weight_;
+  max_degree_ = other.max_degree_;
+  fingerprint_ = other.fingerprint_;
+  other.Clear();
+  return *this;
+}
+
+void Graph::Clear() {
+  owned_offsets_.clear();
+  owned_adjacency_.clear();
+  owned_weights_.clear();
+  offsets_ = {};
+  adjacency_ = {};
+  weights_ = {};
+  total_weight_ = 0.0;
+  max_degree_ = 0;
+  fingerprint_ = {};
+}
+
+void Graph::InitTopology() {
   TICL_CHECK(!offsets_.empty());
   TICL_CHECK(offsets_.front() == 0);
   TICL_CHECK(offsets_.back() == adjacency_.size());
   const VertexId n = num_vertices();
+  max_degree_ = 0;
   for (VertexId v = 0; v < n; ++v) {
     TICL_CHECK(offsets_[v] <= offsets_[v + 1]);
     max_degree_ = std::max(max_degree_, degree(v));
   }
+  fingerprint_.num_vertices = n;
+  fingerprint_.adjacency_len = adjacency_.size();
+  std::uint64_t h =
+      HashWords(kFnvBasis, offsets_.data(), offsets_.size() * sizeof(EdgeIndex));
+  fingerprint_.csr_hash =
+      HashWords(h, adjacency_.data(), adjacency_.size() * sizeof(VertexId));
+}
+
+void Graph::InitWeights() {
+  total_weight_ = 0.0;
+  for (const Weight w : weights_) {
+    TICL_CHECK_MSG(w >= 0.0, "vertex weights must be non-negative");
+    total_weight_ += w;
+  }
+}
+
+void Graph::SetWeights(std::vector<Weight> weights) {
+  TICL_CHECK(weights.size() == num_vertices());
+  owned_weights_ = std::move(weights);
+  weights_ = owned_weights_;
+  InitWeights();
 }
 
 bool Graph::HasEdge(VertexId u, VertexId v) const {
@@ -30,16 +163,6 @@ double Graph::average_degree() const {
   const VertexId n = num_vertices();
   if (n == 0) return 0.0;
   return static_cast<double>(adjacency_.size()) / static_cast<double>(n);
-}
-
-void Graph::SetWeights(std::vector<Weight> weights) {
-  TICL_CHECK(weights.size() == num_vertices());
-  total_weight_ = 0.0;
-  for (const Weight w : weights) {
-    TICL_CHECK_MSG(w >= 0.0, "vertex weights must be non-negative");
-    total_weight_ += w;
-  }
-  weights_ = std::move(weights);
 }
 
 InducedSubgraph ExtractInducedSubgraph(const Graph& g,

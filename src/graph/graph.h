@@ -4,6 +4,7 @@
 #ifndef TICL_GRAPH_GRAPH_H_
 #define TICL_GRAPH_GRAPH_H_
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -11,12 +12,39 @@
 
 namespace ticl {
 
+/// Cheap structural identity of a graph: vertex count, adjacency length
+/// (2m) and a word-wise FNV-1a hash over both CSR arrays (offsets then
+/// adjacency —
+/// hashing only the degree sequence would collide on degree-preserving
+/// edge rewires, exactly the mutation incremental snapshots introduce).
+/// Used to guard precomputed structures (CoreIndex, snapshot sections)
+/// against being applied to a different graph — unlike pointer identity
+/// it survives serialization and graph copies. Vertex weights are
+/// deliberately excluded: the guarded structures are purely topological.
+struct GraphFingerprint {
+  std::uint64_t num_vertices = 0;
+  std::uint64_t adjacency_len = 0;
+  std::uint64_t csr_hash = 0;
+
+  friend bool operator==(const GraphFingerprint&,
+                         const GraphFingerprint&) = default;
+};
+
 /// Undirected, vertex-weighted graph.
 ///
 /// The adjacency structure is immutable after construction (solvers never
 /// mutate the graph; deletions are simulated with membership masks).
 /// Vertex weights are assigned after construction — weighting schemes such
 /// as PageRank need the finished topology first — via SetWeights().
+///
+/// Storage is split into an owning backend and span views: a Graph built
+/// from vectors (GraphBuilder, generators, snapshot copy-loads) owns its
+/// CSR arrays, while Graph::FromExternal wraps caller-owned memory — e.g.
+/// a MappedSnapshot's mmap region — without copying a byte. All read
+/// access goes through the same span accessors either way, so solvers are
+/// oblivious to the backing. Copies are always deep (a copy is
+/// self-contained even when the source was a view); moves transfer the
+/// backing and leave the source empty.
 class Graph {
  public:
   Graph() = default;
@@ -26,6 +54,22 @@ class Graph {
   /// duplicates, and (u,v) present iff (v,u) is. Use GraphBuilder instead of
   /// calling this directly.
   Graph(std::vector<EdgeIndex> offsets, std::vector<VertexId> adjacency);
+
+  /// Wraps externally owned CSR storage (and optionally weights) without
+  /// copying. The caller keeps the memory alive and immutable for the
+  /// lifetime of the returned Graph and every Graph moved from it. The
+  /// spans must satisfy the same invariants as the owning constructor;
+  /// cheap ones are TICL_CHECKed here, per-edge ones (sortedness, ranges)
+  /// are the caller's contract — snapshot loading validates them before
+  /// calling this.
+  static Graph FromExternal(std::span<const EdgeIndex> offsets,
+                            std::span<const VertexId> adjacency,
+                            std::span<const Weight> weights = {});
+
+  Graph(const Graph& other);
+  Graph& operator=(const Graph& other);
+  Graph(Graph&& other) noexcept;
+  Graph& operator=(Graph&& other) noexcept;
 
   /// Number of vertices.
   VertexId num_vertices() const {
@@ -42,8 +86,7 @@ class Graph {
 
   /// Neighbours of v, sorted ascending.
   std::span<const VertexId> neighbors(VertexId v) const {
-    return std::span<const VertexId>(adjacency_.data() + offsets_[v],
-                                     offsets_[v + 1] - offsets_[v]);
+    return adjacency_.subspan(offsets_[v], offsets_[v + 1] - offsets_[v]);
   }
 
   /// True if edge {u, v} exists (binary search over the shorter list).
@@ -55,32 +98,56 @@ class Graph {
   /// Average degree 2m/n (0 for the empty graph).
   double average_degree() const;
 
+  /// Structural identity (computed once at construction).
+  const GraphFingerprint& fingerprint() const { return fingerprint_; }
+
+  /// True when the CSR arrays are views over external memory (mmap) rather
+  /// than heap vectors owned by this object.
+  bool is_view() const {
+    return !offsets_.empty() && offsets_.data() != owned_offsets_.data();
+  }
+
   // -- Vertex weights ------------------------------------------------------
 
   /// Assigns one non-negative weight per vertex. Must match num_vertices().
+  /// Allowed on view-backed graphs too (the weights are then the only owned
+  /// array).
   void SetWeights(std::vector<Weight> weights);
 
-  /// True once SetWeights has been called.
+  /// True once weights are present (SetWeights or external).
   bool has_weights() const { return !weights_.empty(); }
 
   Weight weight(VertexId v) const { return weights_[v]; }
 
-  const std::vector<Weight>& weights() const { return weights_; }
+  std::span<const Weight> weights() const { return weights_; }
 
-  /// Sum of all vertex weights (cached by SetWeights).
+  /// Sum of all vertex weights (cached when weights are installed).
   Weight total_weight() const { return total_weight_; }
 
   // -- Raw CSR access (read-only, for tight loops) --------------------------
 
-  const std::vector<EdgeIndex>& offsets() const { return offsets_; }
-  const std::vector<VertexId>& adjacency() const { return adjacency_; }
+  std::span<const EdgeIndex> offsets() const { return offsets_; }
+  std::span<const VertexId> adjacency() const { return adjacency_; }
 
  private:
-  std::vector<EdgeIndex> offsets_;
-  std::vector<VertexId> adjacency_;
-  std::vector<Weight> weights_;
+  /// Validates offsets invariants, computes max_degree_ and fingerprint_.
+  void InitTopology();
+  /// Validates non-negativity, computes total_weight_.
+  void InitWeights();
+  void Clear();
+
+  // Owning backend; empty for the arrays that view external memory.
+  std::vector<EdgeIndex> owned_offsets_;
+  std::vector<VertexId> owned_adjacency_;
+  std::vector<Weight> owned_weights_;
+  // Views — the single source of truth for readers. Each points either into
+  // the owned vector above or into caller-owned memory (FromExternal).
+  std::span<const EdgeIndex> offsets_;
+  std::span<const VertexId> adjacency_;
+  std::span<const Weight> weights_;
   Weight total_weight_ = 0.0;
   VertexId max_degree_ = 0;
+  GraphFingerprint fingerprint_;
 };
 
 /// Result of ExtractInducedSubgraph: the subgraph plus the id mappings.

@@ -1,5 +1,8 @@
 #include "serve/core_index.h"
 
+#include <cstdint>
+#include <cstring>
+
 #include "algo/connectivity.h"
 #include "algo/core_decomposition.h"
 #include "util/check.h"
@@ -7,58 +10,212 @@
 namespace ticl {
 
 namespace {
-const VertexList kEmpty;
+
+constexpr std::size_t kSerializedHeaderBytes = 32;
+
+/// Appends `value`'s bytes (little-endian on every supported target).
+template <typename T>
+void AppendValue(std::vector<unsigned char>* out, T value) {
+  const auto* p = reinterpret_cast<const unsigned char*>(&value);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T ReadValue(const unsigned char* data, std::size_t offset) {
+  T value;
+  std::memcpy(&value, data + offset, sizeof(T));
+  return value;
+}
+
 }  // namespace
 
-CoreIndex::CoreIndex(const Graph& g) : g_(&g) {
+CoreIndex::CoreIndex(const Graph& g) : g_(&g), fingerprint_(g.fingerprint()) {
   CoreDecompositionResult decomp = CoreDecomposition(g);
-  core_ = std::move(decomp.core);
+  owned_core_ = std::move(decomp.core);
   degeneracy_ = decomp.degeneracy;
-  cores_.resize(static_cast<std::size_t>(degeneracy_) + 1);
+
+  const std::size_t levels = static_cast<std::size_t>(degeneracy_) + 2;
   // Exact per-level sizes first (suffix sums of the core-number histogram)
-  // so each level allocates once.
-  std::vector<std::size_t> at_least(static_cast<std::size_t>(degeneracy_) + 2,
-                                    0);
-  for (const VertexId c : core_) ++at_least[c];
+  // so the flat member array is filled with one cursor sweep. at_least[k] =
+  // |{v : core(v) >= k}| = size of the maximal k-core.
+  std::vector<std::size_t> at_least(levels + 1, 0);
+  for (const VertexId c : owned_core_) ++at_least[c];
   for (VertexId k = degeneracy_; k >= 1; --k) at_least[k] += at_least[k + 1];
-  for (VertexId k = 1; k <= degeneracy_; ++k) cores_[k].reserve(at_least[k]);
+
+  owned_level_offsets_.assign(levels, 0);
+  for (VertexId k = 1; k <= degeneracy_; ++k) {
+    owned_level_offsets_[k + 1] = owned_level_offsets_[k] + at_least[k];
+  }
+  owned_members_.resize(owned_level_offsets_[degeneracy_ + 1]);
+
   // One ascending sweep fills every level at once: v belongs to the maximal
-  // k-core for every k <= core(v), and pushing in vertex order keeps each
+  // k-core for every k <= core(v), and writing in vertex order keeps each
   // level sorted without a per-level sort.
+  std::vector<std::uint64_t> cursor(owned_level_offsets_.begin(),
+                                    owned_level_offsets_.end());
   const VertexId n = g.num_vertices();
   for (VertexId v = 0; v < n; ++v) {
-    for (VertexId k = 1; k <= core_[v]; ++k) cores_[k].push_back(v);
+    for (VertexId k = 1; k <= owned_core_[v]; ++k) {
+      owned_members_[cursor[k]++] = v;
+    }
   }
+
+  core_ = owned_core_;
+  level_offsets_ = owned_level_offsets_;
+  members_ = owned_members_;
 }
 
 std::size_t CoreIndex::CoreSize(VertexId k) const {
   return CoreMembers(k).size();
 }
 
-const VertexList& CoreIndex::CoreMembers(VertexId k) const {
+std::span<const VertexId> CoreIndex::CoreMembers(VertexId k) const {
   TICL_CHECK_MSG(k >= 1, "CoreIndex answers k >= 1");
-  if (k > degeneracy_) return kEmpty;
-  return cores_[k];
+  if (k > degeneracy_) return {};
+  return members_.subspan(level_offsets_[k],
+                          level_offsets_[k + 1] - level_offsets_[k]);
 }
 
 std::vector<VertexList> CoreIndex::CoreComponents(VertexId k) const {
-  const VertexList& members = CoreMembers(k);
+  const std::span<const VertexId> members = CoreMembers(k);
   if (members.empty()) return {};
   return ComponentsOfSubset(*g_, members);
+}
+
+std::size_t CoreIndex::SerializedSize() const {
+  return kSerializedHeaderBytes +
+         level_offsets_.size() * sizeof(std::uint64_t) +
+         core_.size() * sizeof(VertexId) + members_.size() * sizeof(VertexId);
+}
+
+void CoreIndex::AppendSerialized(std::vector<unsigned char>* out) const {
+  out->reserve(out->size() + SerializedSize());
+  AppendValue(out, fingerprint_.num_vertices);
+  AppendValue(out, fingerprint_.adjacency_len);
+  AppendValue(out, fingerprint_.csr_hash);
+  AppendValue(out, static_cast<std::uint32_t>(degeneracy_));
+  AppendValue(out, std::uint32_t{0});  // reserved
+  const auto append_array = [out](const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    out->insert(out->end(), p, p + bytes);
+  };
+  append_array(level_offsets_.data(),
+               level_offsets_.size() * sizeof(std::uint64_t));
+  append_array(core_.data(), core_.size() * sizeof(VertexId));
+  append_array(members_.data(), members_.size() * sizeof(VertexId));
+}
+
+std::unique_ptr<CoreIndex> CoreIndex::Deserialize(const Graph& g,
+                                                  const unsigned char* data,
+                                                  std::size_t size,
+                                                  bool copy_data,
+                                                  std::string* error) {
+  const auto fail = [error](const char* what) -> std::unique_ptr<CoreIndex> {
+    *error = std::string("core index: ") + what;
+    return nullptr;
+  };
+  if (size < kSerializedHeaderBytes) return fail("payload too small");
+
+  GraphFingerprint stored;
+  stored.num_vertices = ReadValue<std::uint64_t>(data, 0);
+  stored.adjacency_len = ReadValue<std::uint64_t>(data, 8);
+  stored.csr_hash = ReadValue<std::uint64_t>(data, 16);
+  if (!(stored == g.fingerprint())) {
+    return fail("fingerprint does not match the graph (stale or foreign "
+                "index)");
+  }
+  const auto degeneracy = ReadValue<std::uint32_t>(data, 24);
+  const std::uint64_t n = stored.num_vertices;
+  if (n == 0 ? degeneracy != 0 : degeneracy >= n) {
+    return fail("degeneracy out of range");
+  }
+
+  const std::uint64_t levels = static_cast<std::uint64_t>(degeneracy) + 2;
+  std::uint64_t expected = kSerializedHeaderBytes + levels * 8 + n * 4;
+  if (size < expected) return fail("payload truncated (level table)");
+  // The level table and member/core arrays are read via spans below, so
+  // the base must be 8-byte aligned (the snapshot layer aligns sections).
+  if (reinterpret_cast<std::uintptr_t>(data) % 8 != 0) {
+    return fail("payload not 8-byte aligned");
+  }
+  const auto* level_offsets = reinterpret_cast<const std::uint64_t*>(
+      data + kSerializedHeaderBytes);
+  if (level_offsets[0] != 0 || level_offsets[1] != 0) {
+    return fail("level table does not start at 0");
+  }
+  for (std::uint64_t k = 1; k + 1 < levels; ++k) {
+    if (level_offsets[k] > level_offsets[k + 1]) {
+      return fail("level table not monotone");
+    }
+  }
+  const std::uint64_t total = level_offsets[levels - 1];
+  if (total > (size - expected) / 4) {
+    return fail("declared member count exceeds payload");
+  }
+  expected += total * 4;
+  if (size != expected) return fail("payload size mismatch");
+
+  const auto* core =
+      reinterpret_cast<const VertexId*>(data + kSerializedHeaderBytes +
+                                        levels * 8);
+  const auto* members = core + n;
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (core[v] > degeneracy) return fail("core number exceeds degeneracy");
+  }
+  // Per level: strictly ascending vertex ids, every member's core number at
+  // least k. Together with the exact per-level counts below, this pins the
+  // level to exactly {v : core(v) >= k}, so a checksum-passing but
+  // inconsistent section cannot smuggle wrong seeds into the solvers.
+  std::vector<std::uint64_t> at_least(levels + 1, 0);
+  for (std::uint64_t v = 0; v < n; ++v) ++at_least[core[v]];
+  for (std::uint64_t k = degeneracy; k >= 1; --k) {
+    at_least[k] += at_least[k + 1];
+  }
+  for (std::uint64_t k = 1; k <= degeneracy; ++k) {
+    const std::uint64_t begin = level_offsets[k];
+    const std::uint64_t end = level_offsets[k + 1];
+    if (end - begin != at_least[k]) return fail("level size inconsistent");
+    for (std::uint64_t i = begin; i < end; ++i) {
+      if (members[i] >= n) return fail("member id out of range");
+      if (core[members[i]] < k) return fail("member below level core");
+      if (i > begin && members[i - 1] >= members[i]) {
+        return fail("level members not strictly ascending");
+      }
+    }
+  }
+
+  std::unique_ptr<CoreIndex> index(new CoreIndex());
+  index->g_ = &g;
+  index->fingerprint_ = stored;
+  index->degeneracy_ = static_cast<VertexId>(degeneracy);
+  if (copy_data) {
+    index->owned_level_offsets_.assign(level_offsets, level_offsets + levels);
+    index->owned_core_.assign(core, core + n);
+    index->owned_members_.assign(members, members + total);
+    index->level_offsets_ = index->owned_level_offsets_;
+    index->core_ = index->owned_core_;
+    index->members_ = index->owned_members_;
+  } else {
+    index->level_offsets_ = {level_offsets, levels};
+    index->core_ = {core, n};
+    index->members_ = {members, total};
+  }
+  return index;
 }
 
 VertexList IndexedMaximalKCore(const CoreIndex* index, const Graph& g,
                                VertexId k) {
   if (index == nullptr) return MaximalKCore(g, k);
-  TICL_CHECK_MSG(&index->graph() == &g,
+  TICL_CHECK_MSG(index->fingerprint() == g.fingerprint(),
                  "CoreIndex was built for a different graph");
-  return index->CoreMembers(k);
+  const std::span<const VertexId> members = index->CoreMembers(k);
+  return VertexList(members.begin(), members.end());
 }
 
 std::vector<VertexList> IndexedKCoreComponents(const CoreIndex* index,
                                                const Graph& g, VertexId k) {
   if (index == nullptr) return KCoreComponents(g, k);
-  TICL_CHECK_MSG(&index->graph() == &g,
+  TICL_CHECK_MSG(index->fingerprint() == g.fingerprint(),
                  "CoreIndex was built for a different graph");
   return index->CoreComponents(k);
 }

@@ -11,13 +11,24 @@
 // in practice far less), so per-query seeding drops from a graph-sized
 // peel to a copy proportional to the answer.
 //
+// Storage is flat and span-backed: one core-number array, one concatenated
+// member array, one per-level offset table. A decomposition-built index
+// owns the arrays; a Deserialize()d one can either copy them or view them
+// in place (zero-copy over a MappedSnapshot's core-index section). The
+// flat layout doubles as the snapshot v2 serialization format — see
+// AppendSerialized() for the byte layout.
+//
 // The index is immutable after construction and safe to share across
-// threads. It is only meaningful for the exact Graph it was built from;
-// the helpers below TICL_CHECK that identity.
+// threads. It is only meaningful for a Graph with the exact fingerprint it
+// was built from; the Indexed* helpers and Solve() TICL_CHECK that.
 
 #ifndef TICL_SERVE_CORE_INDEX_H_
 #define TICL_SERVE_CORE_INDEX_H_
 
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "graph/graph.h"
@@ -30,21 +41,29 @@ class CoreIndex {
   /// lists. The graph must outlive the index.
   explicit CoreIndex(const Graph& g);
 
+  CoreIndex(const CoreIndex&) = delete;
+  CoreIndex& operator=(const CoreIndex&) = delete;
+
   /// The graph this index describes.
   const Graph& graph() const { return *g_; }
+
+  /// Fingerprint of the graph the index was built from (persisted across
+  /// serialization; what Solve() checks before trusting the index).
+  const GraphFingerprint& fingerprint() const { return fingerprint_; }
 
   /// Largest k with a non-empty k-core (0 for edgeless graphs).
   VertexId degeneracy() const { return degeneracy_; }
 
   /// core_numbers()[v] = largest k such that v belongs to a k-core.
-  const std::vector<VertexId>& core_numbers() const { return core_; }
+  std::span<const VertexId> core_numbers() const { return core_; }
 
   /// Member count of the maximal k-core (0 above the degeneracy).
   std::size_t CoreSize(VertexId k) const;
 
   /// Members of the maximal k-core, sorted ascending. Identical to
-  /// MaximalKCore(graph(), k) but O(|answer|) instead of O(n + m).
-  const VertexList& CoreMembers(VertexId k) const;
+  /// MaximalKCore(graph(), k) but O(1) (a subspan of the flat member
+  /// array) instead of O(n + m).
+  std::span<const VertexId> CoreMembers(VertexId k) const;
 
   /// Connected components of the maximal k-core, each sorted ascending.
   /// Identical to KCoreComponents(graph(), k); the BFS split runs on the
@@ -52,18 +71,60 @@ class CoreIndex {
   /// graph.
   std::vector<VertexList> CoreComponents(VertexId k) const;
 
+  // -- Serialization (snapshot v2 `core_index` section payload) ------------
+  //
+  // Little-endian, 8-byte-aligned base required:
+  //
+  //   offset          size        field
+  //   0               8           fingerprint.num_vertices (n)
+  //   8               8           fingerprint.adjacency_len (2m)
+  //   16              8           fingerprint.csr_hash
+  //   24              4           degeneracy d (uint32)
+  //   28              4           reserved (0)
+  //   32              (d+2)*8     level_offsets (uint64): level k in [1, d]
+  //                               occupies members[level_offsets[k],
+  //                               level_offsets[k+1]); entries 0 and 1 are 0
+  //   32+(d+2)*8      n*4         core_numbers (uint32)
+  //   ...             total*4     members (uint32), total = level_offsets[d+1]
+
+  /// Appends the serialized payload (SerializedSize() bytes) to *out.
+  void AppendSerialized(std::vector<unsigned char>* out) const;
+
+  std::size_t SerializedSize() const;
+
+  /// Reconstructs an index from a serialized payload, validating the
+  /// payload exhaustively (sizes, level table, member ranges and order,
+  /// consistency with the core numbers) and checking the stored
+  /// fingerprint against `g`. `data` must be 8-byte aligned (the snapshot
+  /// layer aligns sections). With copy_data = false the index views `data`
+  /// in place — it must then outlive the index (the MappedSnapshot
+  /// zero-copy path); with copy_data = true the arrays are copied and
+  /// `data` may be discarded. Returns nullptr and sets *error on any
+  /// validation failure.
+  static std::unique_ptr<CoreIndex> Deserialize(const Graph& g,
+                                                const unsigned char* data,
+                                                std::size_t size,
+                                                bool copy_data,
+                                                std::string* error);
+
  private:
-  const Graph* g_;
-  std::vector<VertexId> core_;
+  CoreIndex() = default;
+
+  const Graph* g_ = nullptr;
+  GraphFingerprint fingerprint_;
   VertexId degeneracy_ = 0;
-  /// cores_[k] = sorted members of the maximal k-core, k in [1, degeneracy].
-  /// cores_[0] is unused (k = 0 is the whole vertex set; queries need
-  /// k >= 1) and kEmpty is returned beyond the degeneracy.
-  std::vector<VertexList> cores_;
+  // Owning backend; empty when the spans view external (mapped) memory.
+  std::vector<VertexId> owned_core_;
+  std::vector<std::uint64_t> owned_level_offsets_;
+  std::vector<VertexId> owned_members_;
+  // Views — the single source of truth for readers.
+  std::span<const VertexId> core_;
+  std::span<const std::uint64_t> level_offsets_;  // degeneracy_ + 2 entries
+  std::span<const VertexId> members_;
 };
 
 /// Seeding helpers used by the solvers: consult the index when one is
-/// supplied (checking it was built for `g`), else fall back to the
+/// supplied (checking its fingerprint matches `g`), else fall back to the
 /// from-scratch peel.
 VertexList IndexedMaximalKCore(const CoreIndex* index, const Graph& g,
                                VertexId k);

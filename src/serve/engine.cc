@@ -1,11 +1,25 @@
 #include "serve/engine.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <utility>
 
+#include "serve/snapshot.h"
 #include "util/check.h"
 
 namespace ticl {
+
+namespace {
+
+/// Size-aware cache charge: total member ids held by the result, floored
+/// at 1 so empty results still occupy a slot's worth of budget.
+std::size_t ResultCharge(const SearchResult& result) {
+  std::size_t members = 0;
+  for (const Community& c : result.communities) members += c.members.size();
+  return std::max<std::size_t>(members, 1);
+}
+
+}  // namespace
 
 std::string CanonicalQueryKey(const Query& query) {
   // Inactive parameters must not split the key space: alpha only matters
@@ -25,25 +39,82 @@ std::string CanonicalQueryKey(const Query& query) {
 }
 
 QueryEngine::QueryEngine(Graph graph, EngineOptions options)
-    : graph_(std::move(graph)),
-      index_(graph_),
+    : QueryEngine(nullptr, std::move(graph), {}, options) {}
+
+QueryEngine::QueryEngine(std::unique_ptr<MappedSnapshot> mapped,
+                         Graph owned_graph,
+                         const std::vector<unsigned char>& index_payload,
+                         const EngineOptions& options)
+    : mapped_(std::move(mapped)),
+      owned_graph_(std::move(owned_graph)),
       solve_options_(options.solve),
-      cache_capacity_(options.cache_capacity),
+      cache_member_budget_(options.cache_member_budget),
       pool_(options.num_threads) {
-  TICL_CHECK_MSG(graph_.has_weights(),
+  graph_ = mapped_ != nullptr ? &mapped_->graph() : &owned_graph_;
+  TICL_CHECK_MSG(graph_->has_weights(),
                  "QueryEngine needs a weighted graph (SetWeights first)");
-  solve_options_.core_index = &index_;
+  if (mapped_ != nullptr && mapped_->has_core_index()) {
+    index_ = &mapped_->core_index();
+    index_from_snapshot_ = true;
+  } else if (!index_payload.empty()) {
+    // Copy-loaded snapshot carrying a persisted index: deserialize it
+    // against our own graph copy and skip the decomposition. A section
+    // that fails validation (stale or foreign, despite the checksum) is
+    // not fatal — fall back to rebuilding from scratch.
+    std::string index_error;
+    std::unique_ptr<CoreIndex> restored = CoreIndex::Deserialize(
+        *graph_, index_payload.data(), index_payload.size(),
+        /*copy_data=*/true, &index_error);
+    if (restored != nullptr) {
+      owned_index_ = std::move(restored);
+      index_from_snapshot_ = true;
+    } else {
+      owned_index_ = std::make_unique<CoreIndex>(*graph_);
+    }
+    index_ = owned_index_.get();
+  } else {
+    owned_index_ = std::make_unique<CoreIndex>(*graph_);
+    index_ = owned_index_.get();
+  }
+  solve_options_.core_index = index_;
+}
+
+std::unique_ptr<QueryEngine> QueryEngine::OpenSnapshot(
+    const std::string& path, SnapshotLoadMode mode, EngineOptions options,
+    std::string* error) {
+  if (mode == SnapshotLoadMode::kMmap) {
+    std::unique_ptr<MappedSnapshot> mapped = MappedSnapshot::Open(path, error);
+    if (mapped == nullptr) return nullptr;
+    if (!mapped->graph().has_weights()) {
+      *error = "snapshot: no vertex weights; re-save it from a weighted "
+               "graph";
+      return nullptr;
+    }
+    return std::unique_ptr<QueryEngine>(
+        new QueryEngine(std::move(mapped), Graph(), {}, options));
+  }
+  Graph graph;
+  std::vector<unsigned char> index_payload;
+  if (!LoadSnapshotWithIndex(path, &graph, &index_payload, error)) {
+    return nullptr;
+  }
+  if (!graph.has_weights()) {
+    *error = "snapshot: no vertex weights; re-save it from a weighted graph";
+    return nullptr;
+  }
+  return std::unique_ptr<QueryEngine>(
+      new QueryEngine(nullptr, std::move(graph), index_payload, options));
 }
 
 std::string QueryEngine::Validate(const Query& query) const {
-  return ValidateQuery(query, graph_);
+  return ValidateQuery(query, *graph_);
 }
 
 EngineResponse QueryEngine::Run(const Query& query) {
   const std::string key = CanonicalQueryKey(query);
   if (auto cached = CacheLookup(key)) return {std::move(cached), true};
   auto result =
-      std::make_shared<SearchResult>(Solve(graph_, query, solve_options_));
+      std::make_shared<SearchResult>(Solve(*graph_, query, solve_options_));
   CacheInsert(key, result);
   return {std::move(result), false};
 }
@@ -58,14 +129,16 @@ std::future<EngineResponse> QueryEngine::Submit(const Query& query) {
 
 EngineStats QueryEngine::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  EngineStats out = stats_;
+  out.cache_charge = cache_charge_;
+  return out;
 }
 
 std::shared_ptr<const SearchResult> QueryEngine::CacheLookup(
     const std::string& key) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.queries;
-  if (cache_capacity_ == 0) {
+  if (cache_member_budget_ == 0) {
     ++stats_.cache_misses;
     return nullptr;
   }
@@ -76,12 +149,13 @@ std::shared_ptr<const SearchResult> QueryEngine::CacheLookup(
   }
   lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
   ++stats_.cache_hits;
-  return it->second->second;
+  return it->second->result;
 }
 
 void QueryEngine::CacheInsert(const std::string& key,
                               std::shared_ptr<const SearchResult> result) {
-  if (cache_capacity_ == 0) return;
+  if (cache_member_budget_ == 0) return;
+  const std::size_t charge = ResultCharge(*result);
   std::lock_guard<std::mutex> lock(mutex_);
   const auto it = cache_.find(key);
   if (it != cache_.end()) {
@@ -90,11 +164,18 @@ void QueryEngine::CacheInsert(const std::string& key,
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.emplace_front(key, std::move(result));
+  // A result bigger than the whole budget would evict everything and still
+  // not fit — serving it uncached is strictly better.
+  if (charge > cache_member_budget_) return;
+  lru_.push_front(CacheEntry{key, std::move(result), charge});
   cache_.emplace(key, lru_.begin());
-  if (lru_.size() > cache_capacity_) {
-    cache_.erase(lru_.back().first);
+  cache_charge_ += charge;
+  while (cache_charge_ > cache_member_budget_) {
+    const CacheEntry& victim = lru_.back();
+    cache_charge_ -= victim.charge;
+    cache_.erase(victim.key);
     lru_.pop_back();
+    ++stats_.cache_evictions;
   }
 }
 

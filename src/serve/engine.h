@@ -1,13 +1,24 @@
 // QueryEngine: the index-and-serve layer over Solve().
 //
-// One engine owns one immutable weighted graph plus the precomputed
-// CoreIndex for it, an LRU cache of finished results keyed on the
-// canonicalized query, and a fixed thread pool. Callers either Run()
-// synchronously (the calling thread does the graph work) or Submit() to
-// the pool and collect a future. Either way the answer is exactly what a
-// direct Solve() on the same graph would return — the index only removes
-// the per-query re-peel, it never changes the candidate stream — which
-// the serve tests assert result-for-result.
+// One engine serves one immutable weighted graph plus the CoreIndex for
+// it, an LRU cache of finished results keyed on the canonicalized query,
+// and a fixed thread pool. The graph comes from one of two places:
+//
+//   QueryEngine(graph, options)       — takes ownership of a built graph
+//                                       and runs the decomposition itself.
+//   QueryEngine::OpenSnapshot(...)    — serves a snapshot file. In kMmap
+//                                       mode the CSR arrays, weights and
+//                                       (when persisted) the core index
+//                                       are used straight from the
+//                                       mapping: start-up performs no
+//                                       copy of the graph and, with a
+//                                       persisted index, no decomposition.
+//
+// Callers either Run() synchronously (the calling thread does the graph
+// work) or Submit() to the pool and collect a future. Either way the
+// answer is exactly what a direct Solve() on the same graph would return —
+// the index only removes the per-query re-peel, it never changes the
+// candidate stream — which the serve tests assert result-for-result.
 //
 // Thread safety: every public method is safe to call concurrently. Results
 // are handed out as shared_ptr<const SearchResult>; cached entries are
@@ -22,12 +33,14 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/query.h"
 #include "core/result.h"
 #include "core/search.h"
 #include "graph/graph.h"
 #include "serve/core_index.h"
+#include "serve/mapped_snapshot.h"
 #include "serve/thread_pool.h"
 
 namespace ticl {
@@ -35,8 +48,14 @@ namespace ticl {
 struct EngineOptions {
   /// Worker threads; 0 = hardware concurrency.
   unsigned num_threads = 0;
-  /// LRU result-cache entries; 0 disables caching.
-  std::size_t cache_capacity = 1024;
+  /// LRU result-cache budget, measured in cached community members: each
+  /// entry is charged the total member count of its result (minimum 1, so
+  /// empty results still cost something). Size-aware accounting, because
+  /// results vary from a handful of ids to graph-sized communities — an
+  /// entry-count cap would let a few huge results blow the memory budget.
+  /// A single result larger than the whole budget is not cached at all.
+  /// 0 disables caching.
+  std::size_t cache_member_budget = 1u << 20;
   /// Base solver configuration. The engine installs its own CoreIndex into
   /// this before every dispatch; any caller-supplied core_index is ignored.
   SolveOptions solve;
@@ -46,6 +65,9 @@ struct EngineStats {
   std::uint64_t queries = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  /// Current total charge (member count) of resident cache entries.
+  std::uint64_t cache_charge = 0;
 };
 
 /// One answered query. `result` is shared with the cache — never mutated
@@ -53,6 +75,14 @@ struct EngineStats {
 struct EngineResponse {
   std::shared_ptr<const SearchResult> result;
   bool cache_hit = false;
+};
+
+/// How OpenSnapshot materializes the file.
+enum class SnapshotLoadMode {
+  /// Copy the sections into owned heap arrays (accepts v1 and v2 files).
+  kCopy,
+  /// Zero-copy mmap view (requires a v2 file; start-up is O(1) copies).
+  kMmap,
 };
 
 /// Canonical cache key: two queries map to the same key iff Solve() treats
@@ -66,9 +96,26 @@ class QueryEngine {
   /// Takes ownership of the (weighted) graph and builds the core index.
   explicit QueryEngine(Graph graph, EngineOptions options = {});
 
-  const Graph& graph() const { return graph_; }
-  const CoreIndex& core_index() const { return index_; }
+  /// Serves a snapshot file. Uses the persisted core index when the
+  /// snapshot carries one — both modes skip the decomposition then (kMmap
+  /// views it in place, kCopy deserializes a copy); it is rebuilt from
+  /// scratch only for index-less files. Returns nullptr and sets *error
+  /// when the file is unreadable, invalid, or has no weights.
+  static std::unique_ptr<QueryEngine> OpenSnapshot(const std::string& path,
+                                                   SnapshotLoadMode mode,
+                                                   EngineOptions options,
+                                                   std::string* error);
+
+  const Graph& graph() const { return *graph_; }
+  const CoreIndex& core_index() const { return *index_; }
   unsigned num_threads() const { return pool_.num_threads(); }
+
+  /// True when the graph is a zero-copy view over a mapped snapshot.
+  bool snapshot_mapped() const { return mapped_ != nullptr; }
+
+  /// True when the core index was loaded from the snapshot instead of
+  /// being recomputed at start-up.
+  bool index_from_snapshot() const { return index_from_snapshot_; }
 
   /// ValidateQuery against the engine's graph ("" = fine). Callers should
   /// gate on this; Run/Submit TICL_CHECK-abort on invalid queries just
@@ -85,20 +132,37 @@ class QueryEngine {
   EngineStats stats() const;
 
  private:
+  struct CacheEntry {
+    std::string key;
+    std::shared_ptr<const SearchResult> result;
+    std::size_t charge;
+  };
+
+  QueryEngine(std::unique_ptr<MappedSnapshot> mapped, Graph owned_graph,
+              const std::vector<unsigned char>& index_payload,
+              const EngineOptions& options);
+
   std::shared_ptr<const SearchResult> CacheLookup(const std::string& key);
   void CacheInsert(const std::string& key,
                    std::shared_ptr<const SearchResult> result);
 
-  const Graph graph_;
-  const CoreIndex index_;
+  // Destruction order matters: pool_ (declared last) dies first so no
+  // worker touches engine state mid-teardown, and mapped_ (declared
+  // first) dies last because graph_/index_ may view its mapping.
+  std::unique_ptr<MappedSnapshot> mapped_;
+  Graph owned_graph_;
+  std::unique_ptr<const CoreIndex> owned_index_;
+  const Graph* graph_ = nullptr;
+  const CoreIndex* index_ = nullptr;
+  bool index_from_snapshot_ = false;
   SolveOptions solve_options_;
-  std::size_t cache_capacity_;
+  std::size_t cache_member_budget_;
 
   mutable std::mutex mutex_;
   /// MRU-first recency list; the map points into it.
-  std::list<std::pair<std::string, std::shared_ptr<const SearchResult>>>
-      lru_;
-  std::unordered_map<std::string, decltype(lru_)::iterator> cache_;
+  std::list<CacheEntry> lru_;
+  std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_;
+  std::size_t cache_charge_ = 0;
   EngineStats stats_;
 
   ThreadPool pool_;  // declared last: workers must die before state above

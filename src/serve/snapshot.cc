@@ -4,28 +4,195 @@
 #include <cstring>
 #include <vector>
 
+#include "serve/core_index.h"
+#include "serve/snapshot_format.h"
+#include "util/check.h"
+#include "util/fnv1a.h"
+
 namespace ticl {
+
+namespace snapshot_internal {
+
+std::string ValidateCsr(std::span<const EdgeIndex> offsets,
+                        std::span<const VertexId> adjacency) {
+  if (offsets.empty()) return "offsets section empty";
+  if (offsets.front() != 0) return "offsets[0] != 0";
+  if (offsets.back() != adjacency.size()) {
+    return "offsets[n] does not match adjacency length";
+  }
+  const std::size_t n = offsets.size() - 1;
+  // Full monotonicity first: together with front == 0 and back ==
+  // adjacency.size() it bounds every edge range, so the per-edge loop
+  // below cannot index past the adjacency array even on hostile input.
+  for (std::size_t v = 0; v < n; ++v) {
+    if (offsets[v] > offsets[v + 1]) return "offsets not monotone";
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    for (EdgeIndex e = offsets[v]; e < offsets[v + 1]; ++e) {
+      if (adjacency[e] >= n) return "neighbour id out of range";
+      if (adjacency[e] == static_cast<VertexId>(v)) return "self-loop";
+      if (e > offsets[v] && adjacency[e - 1] >= adjacency[e]) {
+        return "neighbour list not strictly ascending";
+      }
+    }
+  }
+  return "";
+}
+
+bool ParseV2(const unsigned char* data, std::size_t size, ParsedSnapshot* out,
+             std::string* error) {
+  const auto fail = [error](std::string msg) {
+    *error = "snapshot: " + std::move(msg);
+    return false;
+  };
+  TICL_CHECK_MSG(reinterpret_cast<std::uintptr_t>(data) % 8 == 0,
+                 "snapshot image must be 8-byte aligned");
+  if (size < kV2HeaderBytes + kChecksumBytes) {
+    return fail("truncated file (no room for header)");
+  }
+  if (std::memcmp(data, kMagic, sizeof(kMagic)) != 0) {
+    return fail("bad magic (not a TICL snapshot)");
+  }
+  std::uint32_t version = 0;
+  std::memcpy(&version, data + 8, sizeof(version));
+  if (version != 2) {
+    return fail("unsupported format version " + std::to_string(version) +
+                " (ParseV2 reads version 2)");
+  }
+  std::uint32_t section_count = 0;
+  std::memcpy(&section_count, data + 12, sizeof(section_count));
+
+  const std::size_t payload_end = size - kChecksumBytes;
+  if (section_count >
+      (payload_end - kV2HeaderBytes) / kSectionEntryBytes) {
+    return fail("truncated section table (" + std::to_string(section_count) +
+                " sections declared)");
+  }
+  const std::size_t table_end =
+      kV2HeaderBytes + section_count * kSectionEntryBytes;
+
+  // One checksum pass over everything before the trailing digest; every
+  // later check can then trust the bytes it reads.
+  std::uint64_t stored_digest = 0;
+  std::memcpy(&stored_digest, data + payload_end, sizeof(stored_digest));
+  if (Fnv1aHash(data, payload_end) != stored_digest) {
+    return fail("checksum mismatch (file corrupted)");
+  }
+
+  const unsigned char* meta = nullptr;
+  const unsigned char* offsets_ptr = nullptr;
+  const unsigned char* adjacency_ptr = nullptr;
+  const unsigned char* weights_ptr = nullptr;
+  const unsigned char* index_ptr = nullptr;
+  std::uint64_t meta_len = 0;
+  std::uint64_t offsets_len = 0;
+  std::uint64_t adjacency_len = 0;
+  std::uint64_t weights_len = 0;
+  std::uint64_t index_len = 0;
+
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    const unsigned char* entry = data + kV2HeaderBytes +
+                                 static_cast<std::size_t>(i) *
+                                     kSectionEntryBytes;
+    std::uint32_t type = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t length = 0;
+    std::memcpy(&type, entry, sizeof(type));
+    std::memcpy(&offset, entry + 8, sizeof(offset));
+    std::memcpy(&length, entry + 16, sizeof(length));
+    if (offset % kSectionAlignment != 0) {
+      return fail("misaligned section (type " + std::to_string(type) + ")");
+    }
+    if (offset < table_end || offset > payload_end ||
+        length > payload_end - offset) {
+      return fail("section out of bounds (type " + std::to_string(type) +
+                  ")");
+    }
+    const auto claim = [&](const unsigned char** ptr, std::uint64_t* len,
+                           const char* what) {
+      if (*ptr != nullptr) {
+        *error = std::string("snapshot: duplicate section (") + what + ")";
+        return false;
+      }
+      *ptr = data + offset;
+      *len = length;
+      return true;
+    };
+    switch (type) {
+      case kSectionGraphMeta:
+        if (!claim(&meta, &meta_len, "graph_meta")) return false;
+        break;
+      case kSectionOffsets:
+        if (!claim(&offsets_ptr, &offsets_len, "offsets")) return false;
+        break;
+      case kSectionAdjacency:
+        if (!claim(&adjacency_ptr, &adjacency_len, "adjacency")) return false;
+        break;
+      case kSectionWeights:
+        if (!claim(&weights_ptr, &weights_len, "weights")) return false;
+        break;
+      case kSectionCoreIndex:
+        if (!claim(&index_ptr, &index_len, "core_index")) return false;
+        break;
+      default:
+        break;  // unknown optional section: skip (forward compatibility)
+    }
+  }
+
+  if (meta == nullptr || offsets_ptr == nullptr || adjacency_ptr == nullptr) {
+    return fail("missing required section (graph_meta/offsets/adjacency)");
+  }
+  if (meta_len != 16) return fail("graph_meta section size mismatch");
+  std::uint64_t n = 0;
+  std::uint64_t adj_count = 0;
+  std::memcpy(&n, meta, sizeof(n));
+  std::memcpy(&adj_count, meta + 8, sizeof(adj_count));
+  if (n > static_cast<std::uint64_t>(kInvalidVertex)) {
+    return fail("vertex count exceeds VertexId range");
+  }
+  if (offsets_len != (n + 1) * sizeof(EdgeIndex)) {
+    return fail("offsets section size mismatch");
+  }
+  if (adj_count > payload_end / sizeof(VertexId)) {
+    return fail("declared adjacency length exceeds file size");
+  }
+  if (adjacency_len != adj_count * sizeof(VertexId)) {
+    return fail("adjacency section size mismatch");
+  }
+  if (weights_ptr != nullptr && weights_len != n * sizeof(Weight)) {
+    return fail("weights section size mismatch");
+  }
+
+  out->offsets = {reinterpret_cast<const EdgeIndex*>(offsets_ptr),
+                  static_cast<std::size_t>(n + 1)};
+  out->adjacency = {reinterpret_cast<const VertexId*>(adjacency_ptr),
+                    static_cast<std::size_t>(adj_count)};
+  out->weights =
+      weights_ptr == nullptr
+          ? std::span<const Weight>{}
+          : std::span<const Weight>{reinterpret_cast<const Weight*>(
+                                        weights_ptr),
+                                    static_cast<std::size_t>(n)};
+  out->core_index = index_ptr;
+  out->core_index_size = static_cast<std::size_t>(index_len);
+
+  const std::string csr_problem = ValidateCsr(out->offsets, out->adjacency);
+  if (!csr_problem.empty()) {
+    return fail("invalid graph data: " + csr_problem);
+  }
+  for (const Weight w : out->weights) {
+    if (!(w >= 0.0)) {  // catches negatives and NaN
+      return fail("negative or NaN vertex weight");
+    }
+  }
+  return true;
+}
+
+}  // namespace snapshot_internal
 
 namespace {
 
-constexpr char kMagic[8] = {'T', 'I', 'C', 'L', 'S', 'N', 'A', 'P'};
-constexpr std::uint32_t kFlagHasWeights = 1u << 0;
-
-/// FNV-1a 64-bit, processed incrementally across sections.
-class Fnv1a {
- public:
-  void Update(const void* data, std::size_t bytes) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < bytes; ++i) {
-      hash_ ^= p[i];
-      hash_ *= 0x100000001b3ULL;
-    }
-  }
-  std::uint64_t Digest() const { return hash_; }
-
- private:
-  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
-};
+namespace fmt = snapshot_internal;
 
 /// fclose on scope exit; remove() the temp file unless committed.
 class FileGuard {
@@ -71,61 +238,28 @@ bool ReadChecked(std::FILE* f, Fnv1a* checksum, void* data, std::size_t bytes,
   return true;
 }
 
-/// The structural invariants Graph's CSR constructor assumes. Symmetry is
-/// not re-verified (O(m log d) — the writer only ever saw symmetric
-/// graphs); everything cheap and memory-safety-critical is.
-std::string ValidateCsr(const std::vector<EdgeIndex>& offsets,
-                        const std::vector<VertexId>& adjacency) {
-  if (offsets.empty()) return "offsets section empty";
-  if (offsets.front() != 0) return "offsets[0] != 0";
-  if (offsets.back() != adjacency.size()) {
-    return "offsets[n] does not match adjacency length";
-  }
-  const std::size_t n = offsets.size() - 1;
-  // Full monotonicity first: together with front == 0 and back ==
-  // adjacency.size() it bounds every edge range, so the per-edge loop
-  // below cannot index past the adjacency array even on hostile input.
-  for (std::size_t v = 0; v < n; ++v) {
-    if (offsets[v] > offsets[v + 1]) return "offsets not monotone";
-  }
-  for (std::size_t v = 0; v < n; ++v) {
-    for (EdgeIndex e = offsets[v]; e < offsets[v + 1]; ++e) {
-      if (adjacency[e] >= n) return "neighbour id out of range";
-      if (adjacency[e] == static_cast<VertexId>(v)) return "self-loop";
-      if (e > offsets[v] && adjacency[e - 1] >= adjacency[e]) {
-        return "neighbour list not strictly ascending";
-      }
-    }
-  }
-  return "";
+std::uint64_t AlignUp(std::uint64_t x) {
+  return (x + (fmt::kSectionAlignment - 1)) &
+         ~static_cast<std::uint64_t>(fmt::kSectionAlignment - 1);
 }
 
-}  // namespace
-
-bool SaveSnapshot(const std::string& path, const Graph& g,
-                  std::string* error) {
-  const std::string tmp_path = path + ".tmp";
-  std::FILE* raw = std::fopen(tmp_path.c_str(), "wb");
-  if (raw == nullptr) {
-    *error = "snapshot: cannot open " + tmp_path + " for writing";
-    return false;
-  }
-  FileGuard file(raw, tmp_path);
-
-  const std::uint32_t version = kSnapshotFormatVersion;
-  const std::uint32_t flags = g.has_weights() ? kFlagHasWeights : 0;
+/// The v1 body (everything after the shared temp-file plumbing). Kept so
+/// compatibility tests and benchmarks can produce old files on demand.
+bool WriteV1Body(std::FILE* f, const Graph& g, std::string* error) {
+  const std::uint32_t version = 1;
+  const std::uint32_t flags = g.has_weights() ? fmt::kFlagHasWeights : 0;
   const std::uint64_t n = g.num_vertices();
   const std::uint64_t adj_len = g.adjacency().size();
 
   // num_vertices() == 0 graphs legitimately have an empty offsets array;
   // normalize to the canonical one-entry [0] so loads round-trip.
   const std::vector<EdgeIndex> empty_offsets{0};
-  const std::vector<EdgeIndex>& offsets =
-      g.offsets().empty() ? empty_offsets : g.offsets();
+  const std::span<const EdgeIndex> offsets =
+      g.offsets().empty() ? std::span<const EdgeIndex>(empty_offsets)
+                          : g.offsets();
 
   Fnv1a checksum;
-  std::FILE* f = file.get();
-  if (!WriteChecked(f, &checksum, kMagic, sizeof(kMagic), error) ||
+  if (!WriteChecked(f, &checksum, fmt::kMagic, sizeof(fmt::kMagic), error) ||
       !WriteChecked(f, &checksum, &version, sizeof(version), error) ||
       !WriteChecked(f, &checksum, &flags, sizeof(flags), error) ||
       !WriteChecked(f, &checksum, &n, sizeof(n), error) ||
@@ -142,57 +276,103 @@ bool SaveSnapshot(const std::string& path, const Graph& g,
     return false;
   }
   const std::uint64_t digest = checksum.Digest();
-  if (!WriteChecked(f, nullptr, &digest, sizeof(digest), error)) return false;
-  if (std::fflush(f) != 0) {
-    *error = "snapshot: flush failed";
-    return false;
-  }
-  file.CloseAndCommit();
-  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    *error = "snapshot: cannot rename " + tmp_path + " to " + path;
-    std::remove(tmp_path.c_str());
-    return false;
-  }
-  return true;
+  return WriteChecked(f, nullptr, &digest, sizeof(digest), error);
 }
 
-bool LoadSnapshot(const std::string& path, Graph* out, std::string* error) {
-  std::FILE* raw = std::fopen(path.c_str(), "rb");
-  if (raw == nullptr) {
-    *error = "snapshot: cannot open " + path;
+bool WriteV2Body(std::FILE* f, const Graph& g,
+                 const SaveSnapshotOptions& options, std::string* error) {
+  const std::uint64_t n = g.num_vertices();
+  const std::uint64_t adj_count = g.adjacency().size();
+
+  const std::vector<EdgeIndex> empty_offsets{0};
+  const std::span<const EdgeIndex> offsets =
+      g.offsets().empty() ? std::span<const EdgeIndex>(empty_offsets)
+                          : g.offsets();
+
+  unsigned char meta[16];
+  std::memcpy(meta, &n, sizeof(n));
+  std::memcpy(meta + 8, &adj_count, sizeof(adj_count));
+
+  std::vector<unsigned char> index_bytes;
+  if (options.core_index != nullptr) {
+    if (!(options.core_index->fingerprint() == g.fingerprint())) {
+      *error = "snapshot: core index does not match the graph being saved";
+      return false;
+    }
+    options.core_index->AppendSerialized(&index_bytes);
+  }
+
+  struct Section {
+    std::uint32_t type;
+    const void* data;
+    std::uint64_t length;
+  };
+  std::vector<Section> sections;
+  sections.push_back({fmt::kSectionGraphMeta, meta, sizeof(meta)});
+  sections.push_back({fmt::kSectionOffsets, offsets.data(),
+                      offsets.size() * sizeof(EdgeIndex)});
+  sections.push_back({fmt::kSectionAdjacency, g.adjacency().data(),
+                      adj_count * sizeof(VertexId)});
+  if (g.has_weights()) {
+    sections.push_back(
+        {fmt::kSectionWeights, g.weights().data(), n * sizeof(Weight)});
+  }
+  if (options.core_index != nullptr) {
+    sections.push_back(
+        {fmt::kSectionCoreIndex, index_bytes.data(), index_bytes.size()});
+  }
+
+  Fnv1a checksum;
+  const std::uint32_t version = 2;
+  const auto section_count = static_cast<std::uint32_t>(sections.size());
+  if (!WriteChecked(f, &checksum, fmt::kMagic, sizeof(fmt::kMagic), error) ||
+      !WriteChecked(f, &checksum, &version, sizeof(version), error) ||
+      !WriteChecked(f, &checksum, &section_count, sizeof(section_count),
+                    error)) {
     return false;
   }
-  FileGuard file(raw, "");
-  std::FILE* f = file.get();
+  // Section table: offsets are assigned back to back, each payload padded
+  // to the 8-byte alignment boundary (padding bytes are zero and are part
+  // of the checksum; `length` stays the unpadded payload size).
+  std::uint64_t cursor =
+      fmt::kV2HeaderBytes + sections.size() * fmt::kSectionEntryBytes;
+  for (const Section& section : sections) {
+    const std::uint32_t reserved = 0;
+    if (!WriteChecked(f, &checksum, &section.type, sizeof(section.type),
+                      error) ||
+        !WriteChecked(f, &checksum, &reserved, sizeof(reserved), error) ||
+        !WriteChecked(f, &checksum, &cursor, sizeof(cursor), error) ||
+        !WriteChecked(f, &checksum, &section.length, sizeof(section.length),
+                      error)) {
+      return false;
+    }
+    cursor += AlignUp(section.length);
+  }
+  const unsigned char padding[fmt::kSectionAlignment] = {0};
+  for (const Section& section : sections) {
+    if (!WriteChecked(f, &checksum, section.data, section.length, error) ||
+        !WriteChecked(f, &checksum, padding,
+                      AlignUp(section.length) - section.length, error)) {
+      return false;
+    }
+  }
+  const std::uint64_t digest = checksum.Digest();
+  return WriteChecked(f, nullptr, &digest, sizeof(digest), error);
+}
 
-  char magic[8];
-  std::uint32_t version = 0;
+/// v1 load body. `checksum` has already consumed magic + version.
+bool LoadV1Body(std::FILE* f, Fnv1a checksum, Graph* out,
+                std::string* error) {
   std::uint32_t flags = 0;
   std::uint64_t n = 0;
   std::uint64_t adj_len = 0;
-  Fnv1a checksum;
-  if (!ReadChecked(f, &checksum, magic, sizeof(magic), "magic", error)) {
-    return false;
-  }
-  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    *error = "snapshot: bad magic (not a TICL snapshot)";
-    return false;
-  }
-  if (!ReadChecked(f, &checksum, &version, sizeof(version), "version",
-                   error) ||
-      !ReadChecked(f, &checksum, &flags, sizeof(flags), "flags", error) ||
+  if (!ReadChecked(f, &checksum, &flags, sizeof(flags), "flags", error) ||
       !ReadChecked(f, &checksum, &n, sizeof(n), "vertex count", error) ||
       !ReadChecked(f, &checksum, &adj_len, sizeof(adj_len),
                    "adjacency length", error)) {
     return false;
   }
-  if (version != kSnapshotFormatVersion) {
-    *error = "snapshot: unsupported format version " +
-             std::to_string(version) + " (expected " +
-             std::to_string(kSnapshotFormatVersion) + ")";
-    return false;
-  }
-  if ((flags & ~kFlagHasWeights) != 0) {
+  if ((flags & ~fmt::kFlagHasWeights) != 0) {
     *error = "snapshot: unknown flag bits set";
     return false;
   }
@@ -222,7 +402,7 @@ bool LoadSnapshot(const std::string& path, Graph* out, std::string* error) {
   std::uint64_t expected = static_cast<std::uint64_t>(header_end);
   expected += (n + 1) * sizeof(EdgeIndex);
   expected += adj_len * sizeof(VertexId);
-  if ((flags & kFlagHasWeights) != 0) expected += n * sizeof(Weight);
+  if ((flags & fmt::kFlagHasWeights) != 0) expected += n * sizeof(Weight);
   expected += sizeof(std::uint64_t);  // checksum
   if (static_cast<std::uint64_t>(file_size) != expected) {
     *error = "snapshot: file size " + std::to_string(file_size) +
@@ -244,7 +424,7 @@ bool LoadSnapshot(const std::string& path, Graph* out, std::string* error) {
                    adj_len * sizeof(VertexId), "adjacency", error)) {
     return false;
   }
-  if ((flags & kFlagHasWeights) != 0) {
+  if ((flags & fmt::kFlagHasWeights) != 0) {
     weights.resize(n);
     if (!ReadChecked(f, &checksum, weights.data(), n * sizeof(Weight),
                      "weights", error)) {
@@ -261,7 +441,7 @@ bool LoadSnapshot(const std::string& path, Graph* out, std::string* error) {
     return false;
   }
 
-  const std::string csr_problem = ValidateCsr(offsets, adjacency);
+  const std::string csr_problem = fmt::ValidateCsr(offsets, adjacency);
   if (!csr_problem.empty()) {
     *error = "snapshot: invalid graph data: " + csr_problem;
     return false;
@@ -277,6 +457,127 @@ bool LoadSnapshot(const std::string& path, Graph* out, std::string* error) {
   if (!weights.empty()) loaded.SetWeights(std::move(weights));
   *out = std::move(loaded);
   return true;
+}
+
+/// v2 copy-load: slurp the file and parse it in place, then deep-copy the
+/// sections into an owning Graph (the zero-copy alternative lives in
+/// serve/mapped_snapshot.h). When index_payload is non-null it receives a
+/// copy of the core_index section bytes (empty when absent).
+bool LoadV2Body(std::FILE* f, Graph* out,
+                std::vector<unsigned char>* index_payload,
+                std::string* error) {
+  if (std::fseek(f, 0, SEEK_END) != 0) {
+    *error = "snapshot: seek failed";
+    return false;
+  }
+  const long file_size = std::ftell(f);
+  if (file_size < 0 || std::fseek(f, 0, SEEK_SET) != 0) {
+    *error = "snapshot: seek failed";
+    return false;
+  }
+  std::vector<unsigned char> buffer(static_cast<std::size_t>(file_size));
+  if (!ReadChecked(f, nullptr, buffer.data(), buffer.size(), "file", error)) {
+    return false;
+  }
+  fmt::ParsedSnapshot parsed;
+  if (!fmt::ParseV2(buffer.data(), buffer.size(), &parsed, error)) {
+    return false;
+  }
+  std::vector<EdgeIndex> offsets(parsed.offsets.begin(),
+                                 parsed.offsets.end());
+  std::vector<VertexId> adjacency(parsed.adjacency.begin(),
+                                  parsed.adjacency.end());
+  Graph loaded(std::move(offsets), std::move(adjacency));
+  if (!parsed.weights.empty()) {
+    loaded.SetWeights(
+        std::vector<Weight>(parsed.weights.begin(), parsed.weights.end()));
+  }
+  if (index_payload != nullptr && parsed.core_index != nullptr) {
+    index_payload->assign(parsed.core_index,
+                          parsed.core_index + parsed.core_index_size);
+  }
+  *out = std::move(loaded);
+  return true;
+}
+
+}  // namespace
+
+bool SaveSnapshot(const std::string& path, const Graph& g,
+                  std::string* error) {
+  return SaveSnapshot(path, g, SaveSnapshotOptions{}, error);
+}
+
+bool SaveSnapshot(const std::string& path, const Graph& g,
+                  const SaveSnapshotOptions& options, std::string* error) {
+  if (options.version != 1 && options.version != 2) {
+    *error = "snapshot: unsupported writer version " +
+             std::to_string(options.version);
+    return false;
+  }
+  if (options.version == 1 && options.core_index != nullptr) {
+    *error = "snapshot: format v1 cannot embed a core index (use v2)";
+    return false;
+  }
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* raw = std::fopen(tmp_path.c_str(), "wb");
+  if (raw == nullptr) {
+    *error = "snapshot: cannot open " + tmp_path + " for writing";
+    return false;
+  }
+  FileGuard file(raw, tmp_path);
+  std::FILE* f = file.get();
+  const bool ok = options.version == 2 ? WriteV2Body(f, g, options, error)
+                                       : WriteV1Body(f, g, error);
+  if (!ok) return false;
+  if (std::fflush(f) != 0) {
+    *error = "snapshot: flush failed";
+    return false;
+  }
+  file.CloseAndCommit();
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    *error = "snapshot: cannot rename " + tmp_path + " to " + path;
+    std::remove(tmp_path.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool LoadSnapshot(const std::string& path, Graph* out, std::string* error) {
+  return LoadSnapshotWithIndex(path, out, nullptr, error);
+}
+
+bool LoadSnapshotWithIndex(const std::string& path, Graph* out,
+                           std::vector<unsigned char>* core_index_payload,
+                           std::string* error) {
+  if (core_index_payload != nullptr) core_index_payload->clear();
+  std::FILE* raw = std::fopen(path.c_str(), "rb");
+  if (raw == nullptr) {
+    *error = "snapshot: cannot open " + path;
+    return false;
+  }
+  FileGuard file(raw, "");
+  std::FILE* f = file.get();
+
+  char magic[8];
+  std::uint32_t version = 0;
+  Fnv1a checksum;
+  if (!ReadChecked(f, &checksum, magic, sizeof(magic), "magic", error)) {
+    return false;
+  }
+  if (std::memcmp(magic, fmt::kMagic, sizeof(fmt::kMagic)) != 0) {
+    *error = "snapshot: bad magic (not a TICL snapshot)";
+    return false;
+  }
+  if (!ReadChecked(f, &checksum, &version, sizeof(version), "version",
+                   error)) {
+    return false;
+  }
+  if (version == 1) return LoadV1Body(f, checksum, out, error);
+  if (version == 2) return LoadV2Body(f, out, core_index_payload, error);
+  *error = "snapshot: unsupported format version " + std::to_string(version) +
+           " (newest supported " + std::to_string(kSnapshotFormatVersion) +
+           ")";
+  return false;
 }
 
 }  // namespace ticl

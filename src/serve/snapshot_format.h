@@ -1,0 +1,66 @@
+// Internal definitions shared by the snapshot writer/loader (snapshot.cc)
+// and the zero-copy mmap loader (mapped_snapshot.cc). Not part of the
+// public API — include serve/snapshot.h or serve/mapped_snapshot.h
+// instead. The byte-level layout is documented in serve/snapshot.h.
+
+#ifndef TICL_SERVE_SNAPSHOT_FORMAT_H_
+#define TICL_SERVE_SNAPSHOT_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "graph/types.h"
+
+namespace ticl::snapshot_internal {
+
+inline constexpr char kMagic[8] = {'T', 'I', 'C', 'L', 'S', 'N', 'A', 'P'};
+/// v1 flags word (v2 expresses optionality via section presence instead).
+inline constexpr std::uint32_t kFlagHasWeights = 1u << 0;
+inline constexpr std::size_t kV2HeaderBytes = 16;
+inline constexpr std::size_t kSectionEntryBytes = 24;
+inline constexpr std::size_t kSectionAlignment = 8;
+inline constexpr std::size_t kChecksumBytes = 8;
+
+/// Section types of the v2 TLV table. Loaders skip unknown types, so new
+/// optional sections (deltas, shard maps, ...) can be added without
+/// breaking old readers of new files.
+enum SectionType : std::uint32_t {
+  kSectionGraphMeta = 1,  // {uint64 n, uint64 adjacency_len}, 16 bytes
+  kSectionOffsets = 2,    // (n + 1) x uint64
+  kSectionAdjacency = 3,  // adjacency_len x uint32
+  kSectionWeights = 4,    // n x double (optional)
+  kSectionCoreIndex = 5,  // CoreIndex serialization (optional)
+};
+
+/// A parsed v2 image. The spans point into the caller's buffer or mapping;
+/// nothing is copied.
+struct ParsedSnapshot {
+  std::span<const EdgeIndex> offsets;
+  std::span<const VertexId> adjacency;
+  std::span<const Weight> weights;            // empty when absent
+  const unsigned char* core_index = nullptr;  // null when absent
+  std::size_t core_index_size = 0;
+};
+
+/// Validates a complete v2 snapshot image — magic, version, section table
+/// (bounds, 8-byte alignment, required sections), the trailing checksum,
+/// the CSR invariants and the weight values — and fills *out with spans
+/// into `data`. `data` must be 8-byte aligned and outlive the spans.
+/// Unknown section types are skipped. Returns false and sets *error on any
+/// failure; the error strings are specific enough to distinguish
+/// truncation, corruption and version problems.
+bool ParseV2(const unsigned char* data, std::size_t size, ParsedSnapshot* out,
+             std::string* error);
+
+/// The structural invariants Graph's CSR constructor assumes. Symmetry is
+/// not re-verified (O(m log d) — the writer only ever saw symmetric
+/// graphs); everything cheap and memory-safety-critical is. Returns "" when
+/// fine, else a description.
+std::string ValidateCsr(std::span<const EdgeIndex> offsets,
+                        std::span<const VertexId> adjacency);
+
+}  // namespace ticl::snapshot_internal
+
+#endif  // TICL_SERVE_SNAPSHOT_FORMAT_H_

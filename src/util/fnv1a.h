@@ -1,0 +1,36 @@
+// FNV-1a 64-bit hashing, shared by the snapshot format (file checksum) and
+// the graph fingerprint (cheap identity check between a Graph and a
+// CoreIndex built for it). Incremental: feed sections as they stream.
+
+#ifndef TICL_UTIL_FNV1A_H_
+#define TICL_UTIL_FNV1A_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ticl {
+
+class Fnv1a {
+ public:
+  void Update(const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  std::uint64_t Digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+inline std::uint64_t Fnv1aHash(const void* data, std::size_t bytes) {
+  Fnv1a h;
+  h.Update(data, bytes);
+  return h.Digest();
+}
+
+}  // namespace ticl
+
+#endif  // TICL_UTIL_FNV1A_H_

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "algo/connectivity.h"
+#include "testing/builders.h"
 
 namespace ticl {
 namespace {
@@ -96,8 +97,10 @@ TEST(CoauthorTest, SeniorsOutweighJuniorsOnAverage) {
 TEST(CoauthorTest, Deterministic) {
   const CoauthorNetwork a = GenerateCoauthorNetwork(SmallOptions());
   const CoauthorNetwork b = GenerateCoauthorNetwork(SmallOptions());
-  EXPECT_EQ(a.graph.adjacency(), b.graph.adjacency());
-  EXPECT_EQ(a.graph.weights(), b.graph.weights());
+  EXPECT_EQ(testing::ToVector(a.graph.adjacency()),
+            testing::ToVector(b.graph.adjacency()));
+  EXPECT_EQ(testing::ToVector(a.graph.weights()),
+            testing::ToVector(b.graph.weights()));
   EXPECT_EQ(a.names, b.names);
 }
 

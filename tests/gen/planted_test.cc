@@ -4,6 +4,7 @@
 
 #include "core/improved_search.h"
 #include "core/verification.h"
+#include "testing/builders.h"
 
 namespace ticl {
 namespace {
@@ -57,8 +58,10 @@ TEST(PlantedTest, WeightsBoosted) {
 TEST(PlantedTest, Deterministic) {
   const auto a = GeneratePlantedCommunities(SmallOptions());
   const auto b = GeneratePlantedCommunities(SmallOptions());
-  EXPECT_EQ(a.graph.adjacency(), b.graph.adjacency());
-  EXPECT_EQ(a.graph.weights(), b.graph.weights());
+  EXPECT_EQ(testing::ToVector(a.graph.adjacency()),
+            testing::ToVector(b.graph.adjacency()));
+  EXPECT_EQ(testing::ToVector(a.graph.weights()),
+            testing::ToVector(b.graph.weights()));
   EXPECT_EQ(a.planted, b.planted);
 }
 

@@ -1,5 +1,8 @@
 #include "graph/graph.h"
 
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "testing/builders.h"
@@ -73,6 +76,64 @@ TEST(GraphTest, ReassigningWeightsUpdatesTotal) {
   EXPECT_DOUBLE_EQ(g.total_weight(), 2.0);
   g.SetWeights({3.0, 4.0});
   EXPECT_DOUBLE_EQ(g.total_weight(), 7.0);
+}
+
+TEST(GraphTest, FingerprintIdentifiesStructure) {
+  const Graph a = PathGraph(4);
+  const Graph b = PathGraph(4);
+  const Graph c = PathGraph(5);
+  EXPECT_TRUE(a.fingerprint() == b.fingerprint());
+  EXPECT_FALSE(a.fingerprint() == c.fingerprint());
+}
+
+TEST(GraphTest, CopyIsDeepAndIdentical) {
+  const Graph g = TwoTrianglesAndK4();
+  const Graph copy = g;
+  EXPECT_NE(copy.offsets().data(), g.offsets().data());
+  EXPECT_NE(copy.adjacency().data(), g.adjacency().data());
+  EXPECT_EQ(testing::ToVector(copy.adjacency()),
+            testing::ToVector(g.adjacency()));
+  EXPECT_TRUE(copy.fingerprint() == g.fingerprint());
+  EXPECT_DOUBLE_EQ(copy.total_weight(), g.total_weight());
+  EXPECT_FALSE(copy.is_view());
+}
+
+TEST(GraphTest, MoveTransfersBuffersAndEmptiesSource) {
+  Graph g = TwoTrianglesAndK4();
+  const VertexId n = g.num_vertices();
+  const VertexId* adjacency_data = g.adjacency().data();
+  const Graph moved = std::move(g);
+  EXPECT_EQ(moved.num_vertices(), n);
+  // The heap buffers (and thus the spans) transferred, not reallocated.
+  EXPECT_EQ(moved.adjacency().data(), adjacency_data);
+  EXPECT_EQ(g.num_vertices(), 0u);  // moved-from is reset to empty
+  EXPECT_FALSE(g.has_weights());
+}
+
+TEST(GraphTest, FromExternalViewsWithoutCopy) {
+  const std::vector<EdgeIndex> offsets{0, 1, 2};
+  const std::vector<VertexId> adjacency{1, 0};
+  const std::vector<Weight> weights{1.0, 2.0};
+  const Graph g = Graph::FromExternal(offsets, adjacency, weights);
+  EXPECT_TRUE(g.is_view());
+  EXPECT_EQ(g.offsets().data(), offsets.data());
+  EXPECT_EQ(g.adjacency().data(), adjacency.data());
+  EXPECT_EQ(g.weights().data(), weights.data());
+  EXPECT_EQ(g.num_vertices(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_DOUBLE_EQ(g.total_weight(), 3.0);
+
+  // Identical structure built the owning way: same fingerprint, not a view.
+  const Graph owned = PathGraph(2);
+  EXPECT_FALSE(owned.is_view());
+  EXPECT_TRUE(g.fingerprint() == owned.fingerprint());
+
+  // Copying a view materializes an owning graph.
+  const Graph copy = g;
+  EXPECT_FALSE(copy.is_view());
+  EXPECT_NE(copy.adjacency().data(), adjacency.data());
+  EXPECT_TRUE(copy.fingerprint() == g.fingerprint());
 }
 
 TEST(InducedSubgraphTest, ExtractTriangleFromFixture) {

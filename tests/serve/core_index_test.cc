@@ -12,6 +12,7 @@
 namespace ticl {
 namespace {
 
+using testing::ToVector;
 using testing::TwoTrianglesAndK4;
 
 Graph WeightedChungLu(std::uint64_t seed) {
@@ -32,7 +33,8 @@ TEST(CoreIndexTest, MatchesFromScratchPrimitives) {
     EXPECT_EQ(index.degeneracy(), CoreDecomposition(g).degeneracy);
     // One past the degeneracy exercises the empty-core path.
     for (VertexId k = 1; k <= index.degeneracy() + 1; ++k) {
-      EXPECT_EQ(index.CoreMembers(k), MaximalKCore(g, k)) << "k=" << k;
+      EXPECT_EQ(ToVector(index.CoreMembers(k)), MaximalKCore(g, k))
+          << "k=" << k;
       EXPECT_EQ(index.CoreComponents(k), KCoreComponents(g, k)) << "k=" << k;
       EXPECT_EQ(index.CoreSize(k), MaximalKCore(g, k).size());
     }
@@ -43,9 +45,9 @@ TEST(CoreIndexTest, CoreNumbersMatchDecomposition) {
   const Graph g = TwoTrianglesAndK4();
   const CoreIndex index(g);
   const CoreDecompositionResult decomp = CoreDecomposition(g);
-  EXPECT_EQ(index.core_numbers(), decomp.core);
+  EXPECT_EQ(ToVector(index.core_numbers()), decomp.core);
   EXPECT_EQ(index.degeneracy(), 3u);  // the K4
-  EXPECT_EQ(index.CoreMembers(3), testing::Members({6, 7, 8, 9}));
+  EXPECT_EQ(ToVector(index.CoreMembers(3)), testing::Members({6, 7, 8, 9}));
   EXPECT_TRUE(index.CoreMembers(4).empty());
   EXPECT_TRUE(index.CoreComponents(4).empty());
 }
@@ -57,6 +59,100 @@ TEST(CoreIndexTest, IndexedHelpersFallBackWithoutIndex) {
   const CoreIndex index(g);
   EXPECT_EQ(IndexedMaximalKCore(&index, g, 2), MaximalKCore(g, 2));
   EXPECT_EQ(IndexedKCoreComponents(&index, g, 2), KCoreComponents(g, 2));
+}
+
+TEST(CoreIndexTest, FingerprintAcceptedAcrossGraphCopies) {
+  const Graph g = TwoTrianglesAndK4();
+  const Graph copy = g;  // same fingerprint, different object
+  const CoreIndex index(g);
+  EXPECT_EQ(IndexedMaximalKCore(&index, copy, 2), MaximalKCore(copy, 2));
+  EXPECT_EQ(IndexedKCoreComponents(&index, copy, 2),
+            KCoreComponents(copy, 2));
+}
+
+TEST(CoreIndexDeathTest, MismatchedIndexRejectedBySolve) {
+  const Graph g = WeightedChungLu(5);
+  const Graph other = TwoTrianglesAndK4();
+  const CoreIndex foreign(other);
+  SolveOptions options;
+  options.core_index = &foreign;
+  Query q;
+  q.k = 2;
+  q.r = 1;
+  q.aggregation = AggregationSpec::Sum();
+  EXPECT_DEATH(Solve(g, q, options), "different graph");
+}
+
+TEST(CoreIndexDeathTest, MismatchedIndexRejectedByHelpers) {
+  const Graph a = TwoTrianglesAndK4();
+  const Graph b = testing::CycleGraph(8);
+  const CoreIndex index(a);
+  EXPECT_DEATH(IndexedMaximalKCore(&index, b, 2), "different graph");
+  EXPECT_DEATH(IndexedKCoreComponents(&index, b, 2), "different graph");
+}
+
+TEST(CoreIndexTest, SerializationRoundTripCopyAndView) {
+  const Graph g = WeightedChungLu(7);
+  const CoreIndex index(g);
+  std::vector<unsigned char> bytes;
+  index.AppendSerialized(&bytes);
+  ASSERT_EQ(bytes.size(), index.SerializedSize());
+
+  std::string error;
+  for (const bool copy_data : {true, false}) {
+    // `bytes` comes from operator new, so it satisfies the 8-byte
+    // alignment the payload format requires.
+    const auto restored = CoreIndex::Deserialize(g, bytes.data(),
+                                                 bytes.size(), copy_data,
+                                                 &error);
+    ASSERT_NE(restored, nullptr) << error;
+    EXPECT_EQ(restored->degeneracy(), index.degeneracy());
+    EXPECT_TRUE(restored->fingerprint() == g.fingerprint());
+    EXPECT_EQ(ToVector(restored->core_numbers()),
+              ToVector(index.core_numbers()));
+    for (VertexId k = 1; k <= index.degeneracy() + 1; ++k) {
+      EXPECT_EQ(ToVector(restored->CoreMembers(k)),
+                ToVector(index.CoreMembers(k)))
+          << "k=" << k;
+      EXPECT_EQ(restored->CoreComponents(k), index.CoreComponents(k))
+          << "k=" << k;
+    }
+  }
+}
+
+TEST(CoreIndexTest, DeserializeRejectsForeignGraph) {
+  const Graph g = WeightedChungLu(7);
+  const CoreIndex index(g);
+  std::vector<unsigned char> bytes;
+  index.AppendSerialized(&bytes);
+
+  const Graph other = TwoTrianglesAndK4();
+  std::string error;
+  EXPECT_EQ(CoreIndex::Deserialize(other, bytes.data(), bytes.size(),
+                                   /*copy_data=*/true, &error),
+            nullptr);
+  EXPECT_NE(error.find("fingerprint"), std::string::npos) << error;
+}
+
+TEST(CoreIndexTest, DeserializeRejectsTruncatedOrCorruptPayload) {
+  const Graph g = TwoTrianglesAndK4();
+  const CoreIndex index(g);
+  std::vector<unsigned char> bytes;
+  index.AppendSerialized(&bytes);
+
+  std::string error;
+  EXPECT_EQ(CoreIndex::Deserialize(g, bytes.data(), bytes.size() - 4,
+                                   /*copy_data=*/true, &error),
+            nullptr);
+  EXPECT_NE(error.find("core index"), std::string::npos) << error;
+
+  // Corrupt the first member id (level 1 starts right after the core
+  // numbers): members must stay strictly ascending / in range.
+  std::vector<unsigned char> corrupt = bytes;
+  corrupt[corrupt.size() - 1] ^= 0xff;
+  EXPECT_EQ(CoreIndex::Deserialize(g, corrupt.data(), corrupt.size(),
+                                   /*copy_data=*/true, &error),
+            nullptr);
 }
 
 void ExpectIdenticalResults(const SearchResult& a, const SearchResult& b,

@@ -113,7 +113,7 @@ TEST(QueryEngineTest, ConcurrentSubmissionsMatchSequentialSolve) {
   const Graph reference = g;
   EngineOptions options;
   options.num_threads = 4;
-  options.cache_capacity = 0;  // force every run through the solver
+  options.cache_member_budget = 0;  // force every run through the solver
   QueryEngine engine(std::move(g), options);
 
   const std::vector<Query> queries = MixedQueries();
@@ -183,32 +183,84 @@ TEST(QueryEngineTest, CacheHitSharesTheResultObject) {
   EXPECT_EQ(stats.cache_misses, 1u);
 }
 
-TEST(QueryEngineTest, LruEvictsLeastRecentlyUsed) {
+// Size-aware cache accounting on the hand-analyzed fixture. Under sum at
+// k = 2 the top communities are K4 (4 members), {7,8,9} (3), {6,8,9} (3),
+// {6,7,9} (3), {0..5} (6) — so the member charge of a top-r result is
+// r=1: 4, r=2: 7, r=3: 10, r=5: 19.
+TEST(QueryEngineTest, LruEvictsLeastRecentlyUsedBySize) {
   EngineOptions options;
-  options.cache_capacity = 2;
+  options.cache_member_budget = 14;
   options.num_threads = 1;
   QueryEngine engine(TwoTrianglesAndK4(), options);
 
   Query a, b, c;
   a.k = 2;
-  a.r = 1;
+  a.r = 1;  // charge 4
   b.k = 2;
-  b.r = 2;
+  b.r = 2;  // charge 7
   c.k = 2;
-  c.r = 3;
+  c.r = 3;  // charge 10
 
-  engine.Run(a);                            // cache: [a]
-  engine.Run(b);                            // cache: [b, a]
+  engine.Run(a);                            // cache: [a]      charge  4
+  engine.Run(b);                            // cache: [b, a]   charge 11
   EXPECT_TRUE(engine.Run(a).cache_hit);     // cache: [a, b]
-  engine.Run(c);                            // evicts b -> [c, a]
+  engine.Run(c);                            // 21 > 14: evicts b -> [c, a]
   EXPECT_TRUE(engine.Run(a).cache_hit);     // a survived -> [a, c]
-  EXPECT_FALSE(engine.Run(b).cache_hit);    // b was evicted -> [b, a]
-  EXPECT_TRUE(engine.Run(a).cache_hit);     // a still resident
+  EXPECT_FALSE(engine.Run(b).cache_hit);    // b was evicted
+  const EngineStats stats = engine.stats();
+  EXPECT_GE(stats.cache_evictions, 1u);
+  EXPECT_LE(stats.cache_charge, 14u);
+}
+
+TEST(QueryEngineTest, SizeAwareCacheEvictsOneHugeResultBeforeManySmall) {
+  EngineOptions options;
+  options.cache_member_budget = 25;
+  options.num_threads = 1;
+  QueryEngine engine(TwoTrianglesAndK4(), options);
+
+  Query huge;  // charge 19 — most of the budget
+  huge.k = 2;
+  huge.r = 5;
+  Query small_a;  // charge 4
+  small_a.k = 2;
+  small_a.r = 1;
+  Query small_b;  // charge 4 (K4 is the only 3-core)
+  small_b.k = 3;
+  small_b.r = 1;
+
+  engine.Run(huge);                              // charge 19
+  engine.Run(small_a);                           // charge 23
+  engine.Run(small_b);                           // 27 > 25: evict huge only
+  EXPECT_TRUE(engine.Run(small_a).cache_hit);    // both small ones survived
+  EXPECT_TRUE(engine.Run(small_b).cache_hit);
+  EXPECT_EQ(engine.stats().cache_evictions, 1u);
+  // The one huge entry is what paid (probing it re-inserts, so last).
+  EXPECT_FALSE(engine.Run(huge).cache_hit);
+}
+
+TEST(QueryEngineTest, ResultLargerThanBudgetIsServedUncached) {
+  EngineOptions options;
+  options.cache_member_budget = 5;
+  options.num_threads = 1;
+  QueryEngine engine(TwoTrianglesAndK4(), options);
+
+  Query huge;  // charge 19 > budget: caching it would evict everything
+  huge.k = 2;
+  huge.r = 5;
+  Query small;  // charge 4
+  small.k = 2;
+  small.r = 1;
+
+  engine.Run(small);
+  engine.Run(huge);
+  EXPECT_FALSE(engine.Run(huge).cache_hit);   // never cached
+  EXPECT_TRUE(engine.Run(small).cache_hit);   // untouched by the huge miss
+  EXPECT_EQ(engine.stats().cache_evictions, 0u);
 }
 
 TEST(QueryEngineTest, CacheDisabledNeverHits) {
   EngineOptions options;
-  options.cache_capacity = 0;
+  options.cache_member_budget = 0;
   QueryEngine engine(TwoTrianglesAndK4(), options);
   Query q;
   q.k = 2;

@@ -1,6 +1,7 @@
 #include "serve/snapshot.h"
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -8,6 +9,7 @@
 
 #include "algo/weights.h"
 #include "gen/chung_lu.h"
+#include "serve/core_index.h"
 #include "testing/builders.h"
 
 namespace ticl {
@@ -21,8 +23,9 @@ std::string TempPath(const std::string& name) {
 
 void ExpectBitIdentical(const Graph& a, const Graph& b) {
   EXPECT_EQ(a.num_vertices(), b.num_vertices());
-  EXPECT_EQ(a.offsets(), b.offsets());
-  EXPECT_EQ(a.adjacency(), b.adjacency());
+  EXPECT_EQ(testing::ToVector(a.offsets()), testing::ToVector(b.offsets()));
+  EXPECT_EQ(testing::ToVector(a.adjacency()),
+            testing::ToVector(b.adjacency()));
   ASSERT_EQ(a.has_weights(), b.has_weights());
   if (a.has_weights()) {
     ASSERT_EQ(a.weights().size(), b.weights().size());
@@ -144,7 +147,9 @@ TEST(SnapshotTest, RejectsTruncatedFile) {
 
   Graph loaded;
   EXPECT_FALSE(LoadSnapshot(path, &loaded, &error));
-  EXPECT_NE(error.find("size"), std::string::npos) << error;
+  // v2 truncation lands on the checksum (the digest is read from what is
+  // now the middle of the payload).
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
   std::remove(path.c_str());
 }
 
@@ -206,7 +211,7 @@ TEST(SnapshotTest, RejectsNonMonotoneOffsetsWithoutOverread) {
   // read out of bounds.
   RawWriter w;
   w.Append("TICLSNAP", 8);
-  w.AppendValue<std::uint32_t>(kSnapshotFormatVersion);
+  w.AppendValue<std::uint32_t>(1);  // v1 layout
   w.AppendValue<std::uint32_t>(0);                   // flags: no weights
   w.AppendValue<std::uint64_t>(2);                   // n
   w.AppendValue<std::uint64_t>(2);                   // adjacency length
@@ -232,7 +237,7 @@ TEST(SnapshotTest, RejectsHugeAdjacencyLengthWithoutAllocating) {
   // of attempting a 2^62-element allocation.
   RawWriter w;
   w.Append("TICLSNAP", 8);
-  w.AppendValue<std::uint32_t>(kSnapshotFormatVersion);
+  w.AppendValue<std::uint32_t>(1);  // v1 layout
   w.AppendValue<std::uint32_t>(0);                   // flags
   w.AppendValue<std::uint64_t>(0);                   // n
   w.AppendValue<std::uint64_t>(1ull << 62);          // adjacency length
@@ -260,6 +265,195 @@ TEST(SnapshotTest, SaveToUnwritablePathFails) {
   EXPECT_FALSE(SaveSnapshot("/nonexistent_dir_xyz/g.snap",
                             TwoTrianglesAndK4(), &error));
   EXPECT_FALSE(error.empty());
+}
+
+// -- Format compatibility ---------------------------------------------------
+
+/// Builds syntactically valid v2 files section by section (the hostile /
+/// forward-compatibility counterpart of the library writer).
+struct V2Builder {
+  struct Section {
+    std::uint32_t type;
+    std::vector<unsigned char> payload;
+  };
+  std::vector<Section> sections;
+
+  template <typename T>
+  void AddArraySection(std::uint32_t type, const std::vector<T>& values) {
+    Section s;
+    s.type = type;
+    s.payload.resize(values.size() * sizeof(T));
+    std::memcpy(s.payload.data(), values.data(), s.payload.size());
+    sections.push_back(std::move(s));
+  }
+
+  RawWriter Build() const {
+    RawWriter w;
+    w.Append("TICLSNAP", 8);
+    w.AppendValue<std::uint32_t>(2);
+    w.AppendValue<std::uint32_t>(static_cast<std::uint32_t>(sections.size()));
+    std::uint64_t cursor = 16 + 24ull * sections.size();
+    for (const Section& s : sections) {
+      w.AppendValue<std::uint32_t>(s.type);
+      w.AppendValue<std::uint32_t>(0);
+      w.AppendValue<std::uint64_t>(cursor);
+      w.AppendValue<std::uint64_t>(s.payload.size());
+      cursor += (s.payload.size() + 7) & ~7ull;
+    }
+    for (const Section& s : sections) {
+      w.Append(s.payload.data(), s.payload.size());
+      const std::size_t padding = ((s.payload.size() + 7) & ~7ull) -
+                                  s.payload.size();
+      for (std::size_t i = 0; i < padding; ++i) {
+        w.AppendValue<unsigned char>(0);
+      }
+    }
+    w.AppendValue<std::uint64_t>(w.Checksum());
+    return w;
+  }
+};
+
+/// Triangle on 3 vertices as raw v2 sections (types 1..3).
+V2Builder TriangleV2() {
+  V2Builder b;
+  b.AddArraySection<std::uint64_t>(1, {3, 6});             // graph_meta
+  b.AddArraySection<std::uint64_t>(2, {0, 2, 4, 6});       // offsets
+  b.AddArraySection<std::uint32_t>(3, {1, 2, 0, 2, 0, 1}); // adjacency
+  return b;
+}
+
+TEST(SnapshotCompatTest, CommittedV1GoldenFileStillLoads) {
+  // tests/serve/testdata/tiny_v1.snap: weighted triangle written by the
+  // PR-1 era v1 writer and committed verbatim. Old deployments' snapshot
+  // stores must keep loading.
+  Graph loaded;
+  std::string error;
+  ASSERT_TRUE(LoadSnapshot(std::string(TICL_TEST_DATA_DIR) + "/tiny_v1.snap",
+                           &loaded, &error))
+      << error;
+  EXPECT_EQ(loaded.num_vertices(), 3u);
+  EXPECT_EQ(loaded.num_edges(), 3u);
+  EXPECT_TRUE(loaded.HasEdge(0, 1));
+  EXPECT_TRUE(loaded.HasEdge(1, 2));
+  EXPECT_TRUE(loaded.HasEdge(0, 2));
+  ASSERT_TRUE(loaded.has_weights());
+  EXPECT_EQ(loaded.weight(0), 1.0);
+  EXPECT_EQ(loaded.weight(1), 2.0);
+  EXPECT_EQ(loaded.weight(2), 3.0);
+}
+
+TEST(SnapshotCompatTest, V1WriterRoundTrips) {
+  const Graph original = TwoTrianglesAndK4();
+  const std::string path = TempPath("v1_writer.snap");
+  SaveSnapshotOptions options;
+  options.version = 1;
+  std::string error;
+  ASSERT_TRUE(SaveSnapshot(path, original, options, &error)) << error;
+  Graph loaded;
+  ASSERT_TRUE(LoadSnapshot(path, &loaded, &error)) << error;
+  ExpectBitIdentical(original, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotCompatTest, V1CannotEmbedCoreIndex) {
+  const Graph g = TwoTrianglesAndK4();
+  const CoreIndex index(g);
+  SaveSnapshotOptions options;
+  options.version = 1;
+  options.core_index = &index;
+  std::string error;
+  EXPECT_FALSE(SaveSnapshot(TempPath("v1_index.snap"), g, options, &error));
+  EXPECT_NE(error.find("cannot embed"), std::string::npos) << error;
+}
+
+TEST(SnapshotCompatTest, CoreIndexSectionRoundTripsThroughLoadSnapshot) {
+  const Graph original = TwoTrianglesAndK4();
+  const CoreIndex index(original);
+  SaveSnapshotOptions options;
+  options.core_index = &index;
+  const std::string path = TempPath("with_index.snap");
+  std::string error;
+  ASSERT_TRUE(SaveSnapshot(path, original, options, &error)) << error;
+  // LoadSnapshot skips the core_index section; the graph is unaffected.
+  Graph loaded;
+  ASSERT_TRUE(LoadSnapshot(path, &loaded, &error)) << error;
+  ExpectBitIdentical(original, loaded);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotCompatTest, UnknownOptionalSectionIsSkipped) {
+  V2Builder b = TriangleV2();
+  // A section type this reader has never heard of (a future delta table,
+  // say). Forward compatibility: load fine, skip it.
+  b.AddArraySection<std::uint64_t>(999, {0xdeadbeefull, 42});
+  const std::string path = TempPath("unknown_section.snap");
+  b.Build().WriteTo(path);
+
+  Graph loaded;
+  std::string error;
+  ASSERT_TRUE(LoadSnapshot(path, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.num_vertices(), 3u);
+  EXPECT_EQ(loaded.num_edges(), 3u);
+  EXPECT_FALSE(loaded.has_weights());
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotCompatTest, TruncatedSectionTableRejected) {
+  // Header declares 1000 sections; the file ends long before the table
+  // does. Must fail with the specific table error, not a checksum read
+  // somewhere past EOF.
+  RawWriter w;
+  w.Append("TICLSNAP", 8);
+  w.AppendValue<std::uint32_t>(2);
+  w.AppendValue<std::uint32_t>(1000);  // section count
+  w.AppendValue<std::uint64_t>(0);     // a lone stub entry fragment
+  w.AppendValue<std::uint64_t>(w.Checksum());
+  const std::string path = TempPath("truncated_table.snap");
+  w.WriteTo(path);
+
+  Graph loaded;
+  std::string error;
+  EXPECT_FALSE(LoadSnapshot(path, &loaded, &error));
+  EXPECT_NE(error.find("truncated section table"), std::string::npos)
+      << error;
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotCompatTest, MissingRequiredSectionRejected) {
+  V2Builder b;
+  b.AddArraySection<std::uint64_t>(1, {3, 6});  // graph_meta only
+  const std::string path = TempPath("missing_section.snap");
+  b.Build().WriteTo(path);
+
+  Graph loaded;
+  std::string error;
+  EXPECT_FALSE(LoadSnapshot(path, &loaded, &error));
+  EXPECT_NE(error.find("missing required section"), std::string::npos)
+      << error;
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotCompatTest, MisalignedSectionRejected) {
+  // Hand-build a table whose adjacency section starts at a non-multiple
+  // of 8: the zero-copy loader could never pointer-cast it safely.
+  RawWriter w;
+  w.Append("TICLSNAP", 8);
+  w.AppendValue<std::uint32_t>(2);
+  w.AppendValue<std::uint32_t>(1);
+  w.AppendValue<std::uint32_t>(2);                  // type: offsets
+  w.AppendValue<std::uint32_t>(0);
+  w.AppendValue<std::uint64_t>(44);                 // misaligned offset
+  w.AppendValue<std::uint64_t>(8);
+  for (int i = 0; i < 12; ++i) w.AppendValue<unsigned char>(0);
+  w.AppendValue<std::uint64_t>(w.Checksum());
+  const std::string path = TempPath("misaligned.snap");
+  w.WriteTo(path);
+
+  Graph loaded;
+  std::string error;
+  EXPECT_FALSE(LoadSnapshot(path, &loaded, &error));
+  EXPECT_NE(error.find("misaligned"), std::string::npos) << error;
+  std::remove(path.c_str());
 }
 
 }  // namespace

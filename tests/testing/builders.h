@@ -8,12 +8,21 @@
 #define TICL_TESTS_TESTING_BUILDERS_H_
 
 #include <initializer_list>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
 #include "graph/graph_builder.h"
 
 namespace ticl::testing {
+
+/// Materializes a span accessor (Graph::offsets(), CoreIndex::CoreMembers
+/// and friends return views since the zero-copy refactor) so it can be
+/// EXPECT_EQ'd against vectors.
+template <typename T>
+std::vector<T> ToVector(std::span<const T> s) {
+  return std::vector<T>(s.begin(), s.end());
+}
 
 inline Graph PathGraph(VertexId n) {
   GraphBuilder b;

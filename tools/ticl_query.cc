@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,8 @@
 #include "gen/chung_lu.h"
 #include "gen/dataset_suite.h"
 #include "graph/edge_list_io.h"
+#include "serve/core_index.h"
+#include "serve/mapped_snapshot.h"
 #include "serve/snapshot.h"
 
 namespace {
@@ -39,7 +42,10 @@ struct CliOptions {
   std::string weight_scheme = "pagerank";
   std::string generate;  // "standin:<name>[@scale]" or "chung-lu:n,deg,gamma"
   std::string snapshot_path;       // load graph + weights from a snapshot
+  bool mmap = false;               // zero-copy view instead of a copy-load
   std::string save_snapshot_path;  // write the prepared graph and exit*
+  bool snapshot_index = false;     // embed the CoreIndex when saving
+  std::uint32_t snapshot_format = ticl::kSnapshotFormatVersion;
   std::uint64_t seed = 0;
   ticl::Query query;
   std::string solver = "auto";
@@ -69,9 +75,15 @@ void PrintUsage() {
       "livejournal|friendster>[@scale]\n"
       "                        or chung-lu:<n>,<avg_degree>,<gamma>\n"
       "  --snapshot PATH       load graph + weights from a binary snapshot\n"
+      "  --mmap                with --snapshot: zero-copy mmap view (needs a\n"
+      "                        v2 file; uses its core index when embedded)\n"
       "  --save-snapshot PATH  write the prepared graph (weights included)\n"
       "                        as a snapshot; exits after saving unless a\n"
       "                        query flag is also given\n"
+      "  --snapshot-index      embed the precomputed CoreIndex in the saved\n"
+      "                        snapshot (v2 only) so serving skips the\n"
+      "                        decomposition\n"
+      "  --snapshot-format N   snapshot version to write: 2 (default) or 1\n"
       "  --seed N              seed for random weight schemes/generators\n"
       "\n"
       "query:\n"
@@ -126,8 +138,16 @@ bool ParseArgs(int argc, char** argv, CliOptions* options,
       if (!take(&options->generate)) return false;
     } else if (arg == "--snapshot") {
       if (!take(&options->snapshot_path)) return false;
+    } else if (arg == "--mmap") {
+      options->mmap = true;
     } else if (arg == "--save-snapshot") {
       if (!take(&options->save_snapshot_path)) return false;
+    } else if (arg == "--snapshot-index") {
+      options->snapshot_index = true;
+    } else if (arg == "--snapshot-format") {
+      if (!take(&value)) return false;
+      options->snapshot_format = static_cast<std::uint32_t>(
+          std::strtoul(value.c_str(), nullptr, 10));
     } else if (arg == "--seed") {
       if (!take(&value)) return false;
       options->seed = std::strtoull(value.c_str(), nullptr, 10);
@@ -361,32 +381,80 @@ int main(int argc, char** argv) {
   solve_options.local.num_threads = options.threads;
 
   ticl::Graph graph;
-  if (!BuildGraph(options, &graph, &error) ||
-      !InstallWeights(options, &graph, &error)) {
+  std::unique_ptr<ticl::MappedSnapshot> mapped;
+  const ticl::Graph* query_graph = &graph;
+  if (options.mmap) {
+    if (options.snapshot_path.empty()) {
+      std::fprintf(stderr, "error: --mmap requires --snapshot\n");
+      return 1;
+    }
+    if (!options.generate.empty() || !options.graph_path.empty()) {
+      std::fprintf(stderr, "error: --snapshot excludes --graph and "
+                           "--generate\n");
+      return 1;
+    }
+    if (!options.weights_path.empty()) {
+      std::fprintf(stderr,
+                   "error: --mmap serves the snapshot read-only; --weights "
+                   "cannot be applied\n");
+      return 1;
+    }
+    mapped = ticl::MappedSnapshot::Open(options.snapshot_path, &error);
+    if (mapped == nullptr) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+    if (!mapped->graph().has_weights()) {
+      std::fprintf(stderr,
+                   "error: snapshot has no vertex weights; re-save it from "
+                   "a weighted graph\n");
+      return 2;
+    }
+    query_graph = &mapped->graph();
+    if (mapped->has_core_index()) {
+      solve_options.core_index = &mapped->core_index();
+    }
+  } else if (!BuildGraph(options, &graph, &error) ||
+             !InstallWeights(options, &graph, &error)) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 2;
   }
 
   if (!options.save_snapshot_path.empty()) {
-    if (!ticl::SaveSnapshot(options.save_snapshot_path, graph, &error)) {
+    ticl::SaveSnapshotOptions save_options;
+    save_options.version = options.snapshot_format;
+    std::unique_ptr<ticl::CoreIndex> built_index;
+    if (options.snapshot_index) {
+      if (mapped != nullptr && mapped->has_core_index()) {
+        save_options.core_index = &mapped->core_index();
+      } else {
+        built_index = std::make_unique<ticl::CoreIndex>(*query_graph);
+        save_options.core_index = built_index.get();
+      }
+    }
+    if (!ticl::SaveSnapshot(options.save_snapshot_path, *query_graph,
+                            save_options, &error)) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
       return 2;
     }
-    std::fprintf(stderr, "saved snapshot %s (n=%u m=%llu%s)\n",
-                 options.save_snapshot_path.c_str(), graph.num_vertices(),
-                 static_cast<unsigned long long>(graph.num_edges()),
-                 graph.has_weights() ? ", weighted" : "");
+    std::fprintf(stderr, "saved snapshot %s (v%u, n=%u m=%llu%s%s)\n",
+                 options.save_snapshot_path.c_str(), options.snapshot_format,
+                 query_graph->num_vertices(),
+                 static_cast<unsigned long long>(query_graph->num_edges()),
+                 query_graph->has_weights() ? ", weighted" : "",
+                 options.snapshot_index ? ", core index embedded" : "");
     if (!options.query_requested) return 0;
   }
 
-  const std::string query_problem = ticl::ValidateQuery(options.query, graph);
+  const std::string query_problem =
+      ticl::ValidateQuery(options.query, *query_graph);
   if (!query_problem.empty()) {
     std::fprintf(stderr, "error: invalid query: %s\n", query_problem.c_str());
     return 1;
   }
 
   const ticl::SearchResult result =
-      ticl::Solve(graph, options.query, solve_options);
+      ticl::Solve(*query_graph, options.query, solve_options);
 
   if (options.output == "json") {
     PrintJson(options.query, result);
@@ -395,7 +463,7 @@ int main(int argc, char** argv) {
   }
 
   const std::string problem =
-      ticl::ValidateResult(graph, options.query, result);
+      ticl::ValidateResult(*query_graph, options.query, result);
   if (!problem.empty()) {
     std::fprintf(stderr, "validation FAILED: %s\n", problem.c_str());
     return 3;

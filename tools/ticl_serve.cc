@@ -19,9 +19,15 @@
 //   {"id": "q1", "error": "..."}
 //
 // Examples:
-//   ticl_query --generate standin:dblp --save-snapshot dblp.snap
-//   ticl_serve --snapshot dblp.snap --queries batch.jsonl --threads 8
+//   ticl_query --generate standin:dblp --save-snapshot dblp.snap \
+//       --snapshot-index
+//   ticl_serve --snapshot dblp.snap --mmap --queries batch.jsonl --threads 8
 //   cat batch.jsonl | ticl_serve --snapshot dblp.snap
+//
+// With --mmap the snapshot (format v2) is served zero-copy straight from
+// the mapping, and an embedded core index skips the start-up
+// decomposition entirely — cold start does no work proportional to the
+// graph beyond one validation pass.
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on IO errors,
 // 3 if any result fails validation (library bug — please report),
@@ -48,9 +54,10 @@ namespace {
 
 struct CliOptions {
   std::string snapshot_path;
+  bool mmap = false;
   std::string queries_path = "-";  // "-" = stdin
   unsigned threads = 0;            // 0 = hardware concurrency
-  std::size_t cache_capacity = 1024;
+  std::size_t cache_member_budget = 1u << 20;
   std::string solver = "auto";
   double epsilon = 0.1;
   unsigned repeat = 1;
@@ -63,10 +70,13 @@ void PrintUsage() {
       "usage: ticl_serve --snapshot PATH [options]\n"
       "\n"
       "  --snapshot PATH   snapshot written by ticl_query --save-snapshot\n"
+      "  --mmap            serve the snapshot zero-copy via mmap (needs a\n"
+      "                    v2 file; uses its embedded core index if any)\n"
       "  --queries PATH    JSONL query file, or '-' for stdin (default -)\n"
       "  --threads N       worker threads (default: hardware concurrency)\n"
-      "  --cache N         LRU result-cache entries, 0 disables "
-      "(default 1024)\n"
+      "  --cache N         LRU result-cache budget in cached community\n"
+      "                    members (size-aware), 0 disables "
+      "(default 1048576)\n"
       "  --solver NAME     auto|naive|improved|approx|exact|local-greedy|\n"
       "                    local-random|min-peel|max-components "
       "(default auto)\n"
@@ -96,6 +106,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options,
       options->help = true;
     } else if (arg == "--snapshot") {
       if (!take(&options->snapshot_path)) return false;
+    } else if (arg == "--mmap") {
+      options->mmap = true;
     } else if (arg == "--queries") {
       if (!take(&options->queries_path)) return false;
     } else if (arg == "--threads") {
@@ -104,7 +116,8 @@ bool ParseArgs(int argc, char** argv, CliOptions* options,
           static_cast<unsigned>(std::strtoul(value.c_str(), nullptr, 10));
     } else if (arg == "--cache") {
       if (!take(&value)) return false;
-      options->cache_capacity = std::strtoull(value.c_str(), nullptr, 10);
+      options->cache_member_budget =
+          std::strtoull(value.c_str(), nullptr, 10);
     } else if (arg == "--solver") {
       if (!take(&options->solver)) return false;
     } else if (arg == "--epsilon") {
@@ -335,38 +348,34 @@ int main(int argc, char** argv) {
 
   ticl::EngineOptions engine_options;
   engine_options.num_threads = options.threads;
-  engine_options.cache_capacity = options.cache_capacity;
+  engine_options.cache_member_budget = options.cache_member_budget;
   engine_options.solve.epsilon = options.epsilon;
   if (!ResolveSolver(options.solver, &engine_options.solve.solver)) {
     std::fprintf(stderr, "error: unknown solver: %s\n", options.solver.c_str());
     return 1;
   }
 
-  ticl::Graph graph;
-  ticl::WallTimer load_timer;
-  if (!ticl::LoadSnapshot(options.snapshot_path, &graph, &error)) {
+  ticl::WallTimer start_timer;
+  const auto engine = ticl::QueryEngine::OpenSnapshot(
+      options.snapshot_path,
+      options.mmap ? ticl::SnapshotLoadMode::kMmap
+                   : ticl::SnapshotLoadMode::kCopy,
+      engine_options, &error);
+  if (engine == nullptr) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 2;
   }
-  if (!graph.has_weights()) {
-    std::fprintf(stderr,
-                 "error: snapshot has no vertex weights; re-save it from a "
-                 "weighted graph\n");
-    return 2;
-  }
-  const double load_seconds = load_timer.ElapsedSeconds();
-
-  ticl::WallTimer index_timer;
-  ticl::QueryEngine engine(std::move(graph), engine_options);
-  const double index_seconds = index_timer.ElapsedSeconds();
+  const double start_seconds = start_timer.ElapsedSeconds();
   std::fprintf(stderr,
-               "loaded %s in %.3fs (n=%u m=%llu), core index (k_max=%u) in "
-               "%.3fs, %u worker threads\n",
-               options.snapshot_path.c_str(), load_seconds,
-               engine.graph().num_vertices(),
-               static_cast<unsigned long long>(engine.graph().num_edges()),
-               engine.core_index().degeneracy(), index_seconds,
-               engine.num_threads());
+               "opened %s in %.3fs (n=%u m=%llu, %s, core index "
+               "(k_max=%u) %s), %u worker threads\n",
+               options.snapshot_path.c_str(), start_seconds,
+               engine->graph().num_vertices(),
+               static_cast<unsigned long long>(engine->graph().num_edges()),
+               engine->snapshot_mapped() ? "mmap zero-copy" : "copy-load",
+               engine->core_index().degeneracy(),
+               engine->index_from_snapshot() ? "from snapshot" : "rebuilt",
+               engine->num_threads());
 
   std::FILE* in = stdin;
   if (options.queries_path != "-") {
@@ -418,14 +427,14 @@ int main(int argc, char** argv) {
         had_bad_input = true;
         continue;
       }
-      const std::string problem = engine.Validate(entry.query);
+      const std::string problem = engine->Validate(entry.query);
       if (!problem.empty()) {
         std::printf("{\"id\": %s, \"error\": \"invalid query: %s\"}\n",
                     entry.id_json.c_str(), problem.c_str());
         had_bad_input = true;
         continue;
       }
-      entry.future = engine.Submit(entry.query);
+      entry.future = engine->Submit(entry.query);
       pending.push_back(std::move(entry));
     }
 
@@ -436,7 +445,7 @@ int main(int argc, char** argv) {
       ++answered;
       if (options.validate) {
         const std::string problem = ticl::ValidateResult(
-            engine.graph(), entry.query, *response.result);
+            engine->graph(), entry.query, *response.result);
         if (!problem.empty()) {
           std::fprintf(stderr, "validation FAILED (id %s): %s\n",
                        entry.id_json.c_str(), problem.c_str());
@@ -447,7 +456,7 @@ int main(int argc, char** argv) {
   }
   const double batch_seconds = batch_timer.ElapsedSeconds();
 
-  const ticl::EngineStats stats = engine.stats();
+  const ticl::EngineStats stats = engine->stats();
   std::fprintf(stderr,
                "%zu queries in %.3fs (%.1f queries/s), cache %llu hits / "
                "%llu misses\n",
