@@ -1,0 +1,218 @@
+#include "algo/core_maintenance.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "algo/core_decomposition.h"
+#include "util/check.h"
+
+namespace ticl {
+
+namespace {
+
+bool Contains(const std::vector<VertexId>& list, VertexId v) {
+  return std::find(list.begin(), list.end(), v) != list.end();
+}
+
+void Remove(std::vector<VertexId>* list, VertexId v) {
+  list->erase(std::find(list->begin(), list->end(), v));
+}
+
+}  // namespace
+
+CoreMaintainer::CoreMaintainer(const Graph& g, std::span<const VertexId> core)
+    : g_(&g),
+      core_(core.begin(), core.end()),
+      extra_(g.num_vertices()),
+      removed_(g.num_vertices()),
+      stamp_(g.num_vertices(), 0),
+      cd_(g.num_vertices(), 0),
+      flag_(g.num_vertices(), 0) {
+  TICL_CHECK_MSG(core.size() == g.num_vertices(),
+                 "core numbers do not match the graph");
+}
+
+CoreMaintainer::CoreMaintainer(const Graph& g)
+    : CoreMaintainer(g, CoreDecomposition(g).core) {}
+
+template <typename Fn>
+void CoreMaintainer::ForEachNeighbor(VertexId v, Fn&& fn) const {
+  const std::vector<VertexId>& removed = removed_[v];
+  if (total_removed_ == 0 || removed.empty()) {
+    for (const VertexId nbr : g_->neighbors(v)) fn(nbr);
+  } else {
+    for (const VertexId nbr : g_->neighbors(v)) {
+      if (!Contains(removed, nbr)) fn(nbr);
+    }
+  }
+  for (const VertexId nbr : extra_[v]) fn(nbr);
+}
+
+bool CoreMaintainer::HasEdge(VertexId u, VertexId v) const {
+  if (u == v) return false;
+  if (Contains(extra_[u], v)) return true;
+  return g_->HasEdge(u, v) && !Contains(removed_[u], v);
+}
+
+VertexId CoreMaintainer::CandidateDegree(VertexId w, VertexId r) const {
+  VertexId cd = 0;
+  ForEachNeighbor(w, [&](VertexId x) {
+    if (core_[x] >= r) ++cd;
+  });
+  return cd;
+}
+
+void CoreMaintainer::NextEpoch() {
+  if (++epoch_ == 0) {  // wrapped: reset stamps once, restart at 1
+    std::fill(stamp_.begin(), stamp_.end(), 0);
+    epoch_ = 1;
+  }
+}
+
+void CoreMaintainer::InsertEdge(VertexId u, VertexId v) {
+  const VertexId n = g_->num_vertices();
+  TICL_CHECK_MSG(u < n && v < n, "InsertEdge endpoint out of range");
+  TICL_CHECK_MSG(u != v, "InsertEdge self-loop");
+  TICL_CHECK_MSG(!HasEdge(u, v), "InsertEdge: edge already present");
+
+  // Install the edge: revive a removed base edge, or grow the overlay.
+  if (Contains(removed_[u], v)) {
+    Remove(&removed_[u], v);
+    Remove(&removed_[v], u);
+    --total_removed_;
+  } else {
+    extra_[u].push_back(v);
+    extra_[v].push_back(u);
+  }
+
+  // Candidate collection around the lower endpoint. Expansion is pruned
+  // at vertices with cd <= r: they cannot rise, and a set of risers
+  // reachable only through such a vertex would have had (r+1)-core
+  // support without the new edge — impossible. A vertex that does expand
+  // has every core == r neighbour collected, so the peel's discounts see
+  // every edge they need. (When the endpoint cores tie, v is adjacent to
+  // u over the new, already-installed edge, so one traversal covers both
+  // sides.)
+  const VertexId r = std::min(core_[u], core_[v]);
+  const VertexId root = core_[u] <= core_[v] ? u : v;
+  NextEpoch();
+  std::vector<VertexId> collected;
+  std::vector<VertexId> stack{root};
+  std::vector<VertexId> evict;
+  stamp_[root] = epoch_;
+  while (!stack.empty()) {
+    const VertexId w = stack.back();
+    stack.pop_back();
+    collected.push_back(w);
+    flag_[w] = 0;
+    ++visited_;
+    VertexId cd = 0;
+    ForEachNeighbor(w, [&](VertexId x) {
+      if (core_[x] >= r) ++cd;
+    });
+    cd_[w] = cd;
+    if (cd > r) {
+      ForEachNeighbor(w, [&](VertexId x) {
+        if (core_[x] == r && stamp_[x] != epoch_) {
+          stamp_[x] = epoch_;
+          stack.push_back(x);
+        }
+      });
+    } else {
+      flag_[w] = 1;  // cannot rise; seeds the peel below
+      evict.push_back(w);
+    }
+  }
+
+  // Peel with threshold r: survivors can count > r supports among higher
+  // cores and surviving peers, so they rise to r + 1.
+  while (!evict.empty()) {
+    const VertexId w = evict.back();
+    evict.pop_back();
+    ForEachNeighbor(w, [&](VertexId x) {
+      if (stamp_[x] != epoch_ || flag_[x] != 0 || core_[x] != r) return;
+      if (--cd_[x] == r) {
+        flag_[x] = 1;
+        evict.push_back(x);
+      }
+    });
+  }
+  for (const VertexId w : collected) {
+    if (flag_[w] == 0) {
+      core_[w] = r + 1;
+      ++changed_;
+    }
+  }
+}
+
+void CoreMaintainer::DeleteEdge(VertexId u, VertexId v) {
+  const VertexId n = g_->num_vertices();
+  TICL_CHECK_MSG(u < n && v < n, "DeleteEdge endpoint out of range");
+  TICL_CHECK_MSG(u != v, "DeleteEdge self-loop");
+  TICL_CHECK_MSG(HasEdge(u, v), "DeleteEdge: edge not present");
+
+  // Uninstall: either drop the overlay edge or mask the base edge.
+  if (Contains(extra_[u], v)) {
+    Remove(&extra_[u], v);
+    Remove(&extra_[v], u);
+  } else {
+    removed_[u].push_back(v);
+    removed_[v].push_back(u);
+    ++total_removed_;
+  }
+
+  const VertexId r = std::min(core_[u], core_[v]);
+  TICL_CHECK_MSG(r >= 1, "an existing edge implies endpoint cores >= 1");
+  NextEpoch();
+
+  // Cascade: a level-r vertex whose candidate degree falls below r drops
+  // to r - 1, which in turn weakens its level-r neighbours. A falling
+  // vertex is *queued* (flag) immediately but its core is lowered — and
+  // its neighbours discounted — only when it is popped; that way each
+  // fall discounts a neighbour exactly once, whether that neighbour's
+  // lazily computed cd predates the fall (decremented on pop) or
+  // postdates it (the fresh count already excludes the lowered core).
+  std::vector<VertexId> fallen;
+  const auto queue_fall = [&](VertexId w) {
+    flag_[w] = 1;
+    fallen.push_back(w);
+  };
+  for (const VertexId seed : {u, v}) {
+    // A seed dropped by the other endpoint's cascade sits at r - 1 now.
+    if (core_[seed] != r) continue;
+    if (stamp_[seed] != epoch_) {
+      stamp_[seed] = epoch_;
+      flag_[seed] = 0;
+      cd_[seed] = CandidateDegree(seed, r);
+      ++visited_;
+    }
+    if (flag_[seed] == 0 && cd_[seed] < r) queue_fall(seed);
+    while (!fallen.empty()) {
+      const VertexId w = fallen.back();
+      fallen.pop_back();
+      core_[w] = r - 1;
+      ++changed_;
+      ForEachNeighbor(w, [&](VertexId x) {
+        if (core_[x] != r) return;  // fell in an earlier pop
+        if (stamp_[x] == epoch_ && flag_[x] == 1) return;  // queued to fall
+        if (stamp_[x] != epoch_) {
+          stamp_[x] = epoch_;
+          flag_[x] = 0;
+          cd_[x] = CandidateDegree(x, r);  // w already at r - 1: excluded
+          ++visited_;
+        } else {
+          --cd_[x];
+        }
+        if (cd_[x] < r) queue_fall(x);
+      });
+    }
+  }
+}
+
+VertexId CoreMaintainer::ComputeDegeneracy() const {
+  VertexId degeneracy = 0;
+  for (const VertexId c : core_) degeneracy = std::max(degeneracy, c);
+  return degeneracy;
+}
+
+}  // namespace ticl

@@ -30,6 +30,15 @@ std::string SolverKindName(SolverKind kind) {
   return "";
 }
 
+std::string ValidateSolveOptions(const SolveOptions& options) {
+  // `!(in range)` instead of `out of range` so NaN fails too.
+  if (!(options.epsilon >= 0.0 && options.epsilon < 1.0)) {
+    return "epsilon must be in [0, 1) (got " +
+           std::to_string(options.epsilon) + ")";
+  }
+  return "";
+}
+
 SolverKind AutoSolverFor(const Query& query) {
   if (!query.size_constrained()) {
     if (query.aggregation.kind == Aggregation::kMin) {

@@ -54,6 +54,13 @@ struct SolveOptions {
   const CoreIndex* core_index = nullptr;
 };
 
+/// Returns "" when `options` is well-formed, else a diagnostic — notably
+/// an epsilon outside [0, 1) (the Theorem 6 guarantee needs 1 - epsilon
+/// > 0; NaN is rejected too). Tools and the serve layer gate on this to
+/// fail cleanly; Solve() itself TICL_CHECK-aborts on violations, which is
+/// the wrong failure mode for user-supplied flags.
+std::string ValidateSolveOptions(const SolveOptions& options);
+
 /// Runs the query. Preconditions of the selected solver are enforced with
 /// TICL_CHECK (e.g. kNaive requires a monotone aggregation and no size
 /// constraint); kAuto always selects a compatible solver.

@@ -1,0 +1,255 @@
+#include "graph/graph_delta.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_set>
+#include <utility>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace ticl {
+
+namespace {
+
+/// Orientation-independent edge key (min id in the high word).
+std::uint64_t EdgeKey(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<std::uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+std::string ValidateDelta(const Graph& g, const GraphDelta& delta) {
+  const VertexId n = g.num_vertices();
+  std::unordered_set<std::uint64_t> inserts;
+  inserts.reserve(delta.insert_edges.size() * 2);
+  for (const Edge& e : delta.insert_edges) {
+    if (e.u >= n || e.v >= n) return "insert edge endpoint out of range";
+    if (e.u == e.v) return "insert edge is a self-loop";
+    if (g.HasEdge(e.u, e.v)) return "inserted edge already present";
+    if (!inserts.insert(EdgeKey(e.u, e.v)).second) {
+      return "duplicate edge in insert list";
+    }
+  }
+  std::unordered_set<std::uint64_t> deletes;
+  deletes.reserve(delta.delete_edges.size() * 2);
+  for (const Edge& e : delta.delete_edges) {
+    if (e.u >= n || e.v >= n) return "delete edge endpoint out of range";
+    if (e.u == e.v) return "delete edge is a self-loop";
+    if (!g.HasEdge(e.u, e.v)) return "deleted edge not present";
+    const std::uint64_t key = EdgeKey(e.u, e.v);
+    if (inserts.count(key) != 0) return "edge both inserted and deleted";
+    if (!deletes.insert(key).second) return "duplicate edge in delete list";
+  }
+  if (!delta.weight_updates.empty() && !g.has_weights()) {
+    return "weight update on a graph without weights";
+  }
+  std::unordered_set<VertexId> reweighted;
+  reweighted.reserve(delta.weight_updates.size() * 2);
+  for (const WeightUpdate& wu : delta.weight_updates) {
+    if (wu.vertex >= n) return "weight update vertex out of range";
+    if (!(wu.weight >= 0.0) || std::isinf(wu.weight)) {
+      return "weight update value must be finite and non-negative";
+    }
+    if (!reweighted.insert(wu.vertex).second) {
+      return "duplicate vertex in weight updates";
+    }
+  }
+  return "";
+}
+
+Graph ApplyDeltaToGraph(const Graph& g, const GraphDelta& delta) {
+  const std::string problem = ValidateDelta(g, delta);
+  TICL_CHECK_MSG(problem.empty(), problem.c_str());
+  return ApplyValidatedDelta(g, delta);
+}
+
+Graph ApplyValidatedDelta(const Graph& g, const GraphDelta& delta) {
+  // Directed half-edges sorted by (source, target) let one cursor sweep
+  // splice each vertex's row without per-vertex lookups.
+  std::vector<std::pair<VertexId, VertexId>> ins;
+  ins.reserve(delta.insert_edges.size() * 2);
+  for (const Edge& e : delta.insert_edges) {
+    ins.emplace_back(e.u, e.v);
+    ins.emplace_back(e.v, e.u);
+  }
+  std::sort(ins.begin(), ins.end());
+  std::vector<std::pair<VertexId, VertexId>> del;
+  del.reserve(delta.delete_edges.size() * 2);
+  for (const Edge& e : delta.delete_edges) {
+    del.emplace_back(e.u, e.v);
+    del.emplace_back(e.v, e.u);
+  }
+  std::sort(del.begin(), del.end());
+
+  const VertexId n = g.num_vertices();
+  std::vector<EdgeIndex> offsets(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<VertexId> adjacency;
+  adjacency.reserve(g.adjacency().size() + ins.size() - del.size());
+  std::size_t ip = 0;
+  std::size_t dp = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    const std::span<const VertexId> row = g.neighbors(v);
+    std::size_t r = 0;
+    for (;;) {
+      const bool have_ins = ip < ins.size() && ins[ip].first == v;
+      if (r >= row.size() && !have_ins) break;
+      if (have_ins && (r >= row.size() || ins[ip].second < row[r])) {
+        adjacency.push_back(ins[ip].second);
+        ++ip;
+        continue;
+      }
+      if (dp < del.size() && del[dp].first == v && del[dp].second == row[r]) {
+        ++dp;  // edge removed: skip it
+      } else {
+        adjacency.push_back(row[r]);
+      }
+      ++r;
+    }
+    offsets[v + 1] = adjacency.size();
+  }
+  TICL_CHECK(ip == ins.size());
+  TICL_CHECK(dp == del.size());
+
+  Graph out(std::move(offsets), std::move(adjacency));
+  if (g.has_weights()) {
+    std::vector<Weight> weights(g.weights().begin(), g.weights().end());
+    for (const WeightUpdate& wu : delta.weight_updates) {
+      weights[wu.vertex] = wu.weight;
+    }
+    out.SetWeights(std::move(weights));
+  }
+  return out;
+}
+
+bool LoadDeltaText(const std::string& path, GraphDelta* delta,
+                   std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    *error = "delta: cannot open " + path;
+    return false;
+  }
+  GraphDelta parsed;
+  std::string line;
+  std::size_t line_number = 0;
+  const auto fail = [&](const char* what) {
+    *error = "delta: " + path + ":" + std::to_string(line_number) + ": " +
+             what;
+    std::fclose(f);
+    return false;
+  };
+  // Unbounded line reader: a fixed fgets buffer would split long lines
+  // (e.g. a lengthy provenance comment) and parse the tail as a bogus
+  // directive.
+  const auto read_line = [&]() {
+    line.clear();
+    int ch;
+    while ((ch = std::fgetc(f)) != EOF && ch != '\n') {
+      line.push_back(static_cast<char>(ch));
+    }
+    return ch != EOF || !line.empty();
+  };
+  while (read_line()) {
+    ++line_number;
+    const char* p = line.c_str();
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '\0' || *p == '\n' || *p == '\r' || *p == '#') continue;
+    unsigned long u = 0;
+    unsigned long v = 0;
+    double w = 0.0;
+    if (*p == '+' || *p == '-') {
+      if (std::sscanf(p + 1, "%lu %lu", &u, &v) != 2) {
+        return fail("expected '<+|-> u v'");
+      }
+      if (u > kInvalidVertex || v > kInvalidVertex) {
+        return fail("vertex id exceeds 32 bits");
+      }
+      Edge e{static_cast<VertexId>(u), static_cast<VertexId>(v)};
+      if (e.u > e.v) std::swap(e.u, e.v);
+      if (*p == '+') {
+        parsed.insert_edges.push_back(e);
+      } else {
+        parsed.delete_edges.push_back(e);
+      }
+    } else if (*p == 'w') {
+      if (std::sscanf(p + 1, "%lu %lf", &u, &w) != 2) {
+        return fail("expected 'w v weight'");
+      }
+      if (u > kInvalidVertex) return fail("vertex id exceeds 32 bits");
+      parsed.weight_updates.push_back(
+          WeightUpdate{static_cast<VertexId>(u), w});
+    } else {
+      return fail("unknown directive (want '+', '-' or 'w')");
+    }
+  }
+  // fgetc returns EOF for end-of-file and read errors alike; only the
+  // former may produce a (complete) delta — a truncated read must not be
+  // silently applied or persisted.
+  if (std::ferror(f) != 0) return fail("read error");
+  std::fclose(f);
+  *delta = std::move(parsed);
+  return true;
+}
+
+GraphDelta RandomDelta(const Graph& g, std::uint64_t seed,
+                       std::size_t inserts, std::size_t deletes,
+                       std::size_t weight_updates) {
+  const VertexId n = g.num_vertices();
+  GraphDelta delta;
+  Rng rng(seed);
+
+  if (deletes > 0) {
+    std::vector<Edge> edges;
+    edges.reserve(g.num_edges());
+    for (VertexId v = 0; v < n; ++v) {
+      for (const VertexId nbr : g.neighbors(v)) {
+        if (nbr > v) edges.push_back(Edge{v, nbr});
+      }
+    }
+    TICL_CHECK_MSG(deletes <= edges.size(),
+                   "RandomDelta: more deletes than edges");
+    rng.Shuffle(edges.data(), edges.size());
+    delta.delete_edges.assign(edges.begin(),
+                              edges.begin() + static_cast<long>(deletes));
+  }
+
+  if (inserts > 0) {
+    TICL_CHECK_MSG(n >= 2, "RandomDelta: inserts need at least 2 vertices");
+    const std::uint64_t capacity =
+        static_cast<std::uint64_t>(n) * (n - 1) / 2 - g.num_edges();
+    TICL_CHECK_MSG(inserts <= capacity,
+                   "RandomDelta: more inserts than absent edges");
+    std::unordered_set<std::uint64_t> chosen;
+    chosen.reserve(inserts * 2);
+    while (delta.insert_edges.size() < inserts) {
+      const auto u = static_cast<VertexId>(rng.NextBounded(n));
+      const auto v = static_cast<VertexId>(rng.NextBounded(n));
+      if (u == v || g.HasEdge(u, v)) continue;
+      if (!chosen.insert(EdgeKey(u, v)).second) continue;
+      delta.insert_edges.push_back(Edge{std::min(u, v), std::max(u, v)});
+    }
+  }
+
+  if (weight_updates > 0) {
+    TICL_CHECK_MSG(g.has_weights(),
+                   "RandomDelta: weight updates need a weighted graph");
+    TICL_CHECK_MSG(weight_updates <= n,
+                   "RandomDelta: more weight updates than vertices");
+    Weight max_weight = 0.0;
+    for (const Weight w : g.weights()) max_weight = std::max(max_weight, w);
+    if (max_weight <= 0.0) max_weight = 1.0;
+    std::unordered_set<VertexId> chosen;
+    chosen.reserve(weight_updates * 2);
+    while (delta.weight_updates.size() < weight_updates) {
+      const auto v = static_cast<VertexId>(rng.NextBounded(n));
+      if (!chosen.insert(v).second) continue;
+      delta.weight_updates.push_back(
+          WeightUpdate{v, rng.NextDouble() * 2.0 * max_weight});
+    }
+  }
+  return delta;
+}
+
+}  // namespace ticl

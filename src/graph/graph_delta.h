@@ -1,0 +1,96 @@
+// Mutations over the immutable Graph: the dynamic-graph entry point.
+//
+// A Graph is frozen CSR — the right substrate for solvers, the wrong one
+// for a deployment whose underlying network keeps evolving. GraphDelta is
+// the bridge: a batch of edge insertions, edge deletions and vertex-weight
+// updates expressed against a specific parent graph. Applying a delta
+// produces a *new* owning Graph (the parent is untouched, so in-flight
+// readers keep a consistent view), and the serve layer pairs application
+// with order-based core maintenance (algo/core_maintenance.h) so the
+// CoreIndex follows along without re-running the full decomposition.
+//
+// Deltas keep the vertex set fixed: n never changes, only edges and
+// weights. Semantics are "deletes first, then inserts, then weight
+// updates" — a delta may not delete and insert the same edge, so the
+// order only matters conceptually.
+
+#ifndef TICL_GRAPH_GRAPH_DELTA_H_
+#define TICL_GRAPH_GRAPH_DELTA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace ticl {
+
+/// Reassigns one vertex's influence weight.
+struct WeightUpdate {
+  VertexId vertex = 0;
+  Weight weight = 0.0;
+
+  friend bool operator==(const WeightUpdate&, const WeightUpdate&) = default;
+};
+
+/// A batch of mutations against one parent graph. Edges may be listed in
+/// either endpoint order; (u, v) and (v, u) denote the same edge.
+struct GraphDelta {
+  std::vector<Edge> insert_edges;
+  std::vector<Edge> delete_edges;
+  std::vector<WeightUpdate> weight_updates;
+
+  bool empty() const {
+    return insert_edges.empty() && delete_edges.empty() &&
+           weight_updates.empty();
+  }
+
+  /// Total mutation count (what "delta size" means in benchmarks).
+  std::size_t size() const {
+    return insert_edges.size() + delete_edges.size() + weight_updates.size();
+  }
+};
+
+/// Returns "" when `delta` is applicable to `g`, else a diagnostic:
+/// every id in range, no self-loops, inserted edges absent from `g`,
+/// deleted edges present in `g`, no duplicate edge within the delta and no
+/// edge both inserted and deleted, weight updates only on weighted graphs
+/// with non-negative finite values and distinct vertices.
+std::string ValidateDelta(const Graph& g, const GraphDelta& delta);
+
+/// Applies a valid delta (TICL_CHECKs ValidateDelta) and returns the
+/// resulting owning graph: one merge pass over the CSR arrays, weights
+/// carried over with the updates applied. O(n + m + |delta| log |delta|).
+Graph ApplyDeltaToGraph(const Graph& g, const GraphDelta& delta);
+
+/// As ApplyDeltaToGraph, but trusts the caller to have already run
+/// ValidateDelta against this exact graph — validation builds hash sets
+/// and binary-searches every edge, which update paths that validate for
+/// error reporting anyway (QueryEngine::ApplyDelta, LoadSnapshotChain)
+/// should not pay twice.
+Graph ApplyValidatedDelta(const Graph& g, const GraphDelta& delta);
+
+/// Parses a text delta file. One mutation per line:
+///   + u v       insert edge {u, v}
+///   - u v       delete edge {u, v}
+///   w v 3.25    set weight of vertex v
+/// Blank lines and lines starting with '#' are skipped. Returns false and
+/// sets *error (with a line number) on malformed input.
+bool LoadDeltaText(const std::string& path, GraphDelta* delta,
+                   std::string* error);
+
+/// Generates a reproducible random churn delta against `g`: `deletes`
+/// distinct existing edges, `inserts` distinct absent edges, and
+/// `weight_updates` distinct vertex reweights (uniform in [0, 2 * current
+/// max weight]; requires weights when weight_updates > 0). Used by the
+/// randomized equivalence tests and bench_delta, and handy for load
+/// drills against a real snapshot. Requires enough edges/non-edges to
+/// satisfy the counts (TICL_CHECKed).
+GraphDelta RandomDelta(const Graph& g, std::uint64_t seed,
+                       std::size_t inserts, std::size_t deletes,
+                       std::size_t weight_updates);
+
+}  // namespace ticl
+
+#endif  // TICL_GRAPH_GRAPH_DELTA_H_

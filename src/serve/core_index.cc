@@ -1,5 +1,6 @@
 #include "serve/core_index.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 
@@ -33,7 +34,26 @@ CoreIndex::CoreIndex(const Graph& g) : g_(&g), fingerprint_(g.fingerprint()) {
   CoreDecompositionResult decomp = CoreDecomposition(g);
   owned_core_ = std::move(decomp.core);
   degeneracy_ = decomp.degeneracy;
+  BuildLevels();
+}
 
+std::unique_ptr<CoreIndex> CoreIndex::FromCoreNumbers(
+    const Graph& g, std::vector<VertexId> core) {
+  TICL_CHECK_MSG(core.size() == g.num_vertices(),
+                 "core numbers do not match the graph");
+  std::unique_ptr<CoreIndex> index(new CoreIndex());
+  index->g_ = &g;
+  index->fingerprint_ = g.fingerprint();
+  index->owned_core_ = std::move(core);
+  index->degeneracy_ = 0;
+  for (const VertexId c : index->owned_core_) {
+    index->degeneracy_ = std::max(index->degeneracy_, c);
+  }
+  index->BuildLevels();
+  return index;
+}
+
+void CoreIndex::BuildLevels() {
   const std::size_t levels = static_cast<std::size_t>(degeneracy_) + 2;
   // Exact per-level sizes first (suffix sums of the core-number histogram)
   // so the flat member array is filled with one cursor sweep. at_least[k] =
@@ -53,7 +73,7 @@ CoreIndex::CoreIndex(const Graph& g) : g_(&g), fingerprint_(g.fingerprint()) {
   // level sorted without a per-level sort.
   std::vector<std::uint64_t> cursor(owned_level_offsets_.begin(),
                                     owned_level_offsets_.end());
-  const VertexId n = g.num_vertices();
+  const VertexId n = g_->num_vertices();
   for (VertexId v = 0; v < n; ++v) {
     for (VertexId k = 1; k <= owned_core_[v]; ++k) {
       owned_members_[cursor[k]++] = v;

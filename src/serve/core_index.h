@@ -44,6 +44,16 @@ class CoreIndex {
   CoreIndex(const CoreIndex&) = delete;
   CoreIndex& operator=(const CoreIndex&) = delete;
 
+  /// Builds the index from already-known core numbers — the incremental
+  /// maintenance path (algo/core_maintenance.h): after a delta is applied,
+  /// the maintained core numbers describe the new graph and only the flat
+  /// per-level member lists need re-bucketing, skipping the O(n + m)
+  /// decomposition. `core` must equal CoreDecomposition(g).core exactly;
+  /// this is trusted here (cheap shape checks only) and asserted
+  /// bit-for-bit by the randomized maintenance tests.
+  static std::unique_ptr<CoreIndex> FromCoreNumbers(const Graph& g,
+                                                    std::vector<VertexId> core);
+
   /// The graph this index describes.
   const Graph& graph() const { return *g_; }
 
@@ -109,6 +119,11 @@ class CoreIndex {
 
  private:
   CoreIndex() = default;
+
+  /// Bucket-builds level_offsets_/members_ from owned_core_ (which must be
+  /// set, along with g_/fingerprint_) and installs the span views. Shared
+  /// by the decomposition constructor and FromCoreNumbers.
+  void BuildLevels();
 
   const Graph* g_ = nullptr;
   GraphFingerprint fingerprint_;

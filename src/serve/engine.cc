@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "algo/core_maintenance.h"
 #include "serve/snapshot.h"
 #include "util/check.h"
 
@@ -45,17 +46,23 @@ QueryEngine::QueryEngine(std::unique_ptr<MappedSnapshot> mapped,
                          Graph owned_graph,
                          const std::vector<unsigned char>& index_payload,
                          const EngineOptions& options)
-    : mapped_(std::move(mapped)),
-      owned_graph_(std::move(owned_graph)),
-      solve_options_(options.solve),
+    : base_solve_options_(options.solve),
       cache_member_budget_(options.cache_member_budget),
+      solve_started_hook_for_test_(options.solve_started_hook_for_test),
       pool_(options.num_threads) {
-  graph_ = mapped_ != nullptr ? &mapped_->graph() : &owned_graph_;
-  TICL_CHECK_MSG(graph_->has_weights(),
+  const std::string options_problem = ValidateSolveOptions(options.solve);
+  TICL_CHECK_MSG(options_problem.empty(), options_problem.c_str());
+
+  auto state = std::make_shared<ServingState>();
+  state->mapped = std::move(mapped);
+  state->owned_graph = std::move(owned_graph);
+  state->graph = state->mapped != nullptr ? &state->mapped->graph()
+                                          : &state->owned_graph;
+  TICL_CHECK_MSG(state->graph->has_weights(),
                  "QueryEngine needs a weighted graph (SetWeights first)");
-  if (mapped_ != nullptr && mapped_->has_core_index()) {
-    index_ = &mapped_->core_index();
-    index_from_snapshot_ = true;
+  if (state->mapped != nullptr && state->mapped->has_core_index()) {
+    state->index = &state->mapped->core_index();
+    state->index_from_snapshot = true;
   } else if (!index_payload.empty()) {
     // Copy-loaded snapshot carrying a persisted index: deserialize it
     // against our own graph copy and skip the decomposition. A section
@@ -63,25 +70,32 @@ QueryEngine::QueryEngine(std::unique_ptr<MappedSnapshot> mapped,
     // not fatal — fall back to rebuilding from scratch.
     std::string index_error;
     std::unique_ptr<CoreIndex> restored = CoreIndex::Deserialize(
-        *graph_, index_payload.data(), index_payload.size(),
+        *state->graph, index_payload.data(), index_payload.size(),
         /*copy_data=*/true, &index_error);
     if (restored != nullptr) {
-      owned_index_ = std::move(restored);
-      index_from_snapshot_ = true;
+      state->owned_index = std::move(restored);
+      state->index_from_snapshot = true;
     } else {
-      owned_index_ = std::make_unique<CoreIndex>(*graph_);
+      state->owned_index = std::make_unique<CoreIndex>(*state->graph);
     }
-    index_ = owned_index_.get();
+    state->index = state->owned_index.get();
   } else {
-    owned_index_ = std::make_unique<CoreIndex>(*graph_);
-    index_ = owned_index_.get();
+    state->owned_index = std::make_unique<CoreIndex>(*state->graph);
+    state->index = state->owned_index.get();
   }
-  solve_options_.core_index = index_;
+  state->solve = base_solve_options_;
+  state->solve.core_index = state->index;
+  state_ = std::move(state);
 }
 
 std::unique_ptr<QueryEngine> QueryEngine::OpenSnapshot(
     const std::string& path, SnapshotLoadMode mode, EngineOptions options,
     std::string* error) {
+  const std::string options_problem = ValidateSolveOptions(options.solve);
+  if (!options_problem.empty()) {
+    *error = "engine: " + options_problem;
+    return nullptr;
+  }
   if (mode == SnapshotLoadMode::kMmap) {
     std::unique_ptr<MappedSnapshot> mapped = MappedSnapshot::Open(path, error);
     if (mapped == nullptr) return nullptr;
@@ -106,16 +120,95 @@ std::unique_ptr<QueryEngine> QueryEngine::OpenSnapshot(
       new QueryEngine(nullptr, std::move(graph), index_payload, options));
 }
 
+std::shared_ptr<const QueryEngine::ServingState> QueryEngine::CurrentState()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+const Graph& QueryEngine::graph() const { return *CurrentState()->graph; }
+
+const CoreIndex& QueryEngine::core_index() const {
+  return *CurrentState()->index;
+}
+
+bool QueryEngine::snapshot_mapped() const {
+  return CurrentState()->mapped != nullptr;
+}
+
+bool QueryEngine::index_from_snapshot() const {
+  return CurrentState()->index_from_snapshot;
+}
+
 std::string QueryEngine::Validate(const Query& query) const {
-  return ValidateQuery(query, *graph_);
+  const std::shared_ptr<const ServingState> state = CurrentState();
+  return ValidateQuery(query, *state->graph);
 }
 
 EngineResponse QueryEngine::Run(const Query& query) {
   const std::string key = CanonicalQueryKey(query);
-  if (auto cached = CacheLookup(key)) return {std::move(cached), true};
-  auto result =
-      std::make_shared<SearchResult>(Solve(*graph_, query, solve_options_));
-  CacheInsert(key, result);
+  std::shared_ptr<const ServingState> state;
+  std::shared_ptr<PendingSolve> pending;
+  bool owner = false;
+  std::uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.queries;
+    state = state_;
+    generation = generation_;
+    if (cache_member_budget_ > 0) {
+      const auto it = cache_.find(key);
+      if (it != cache_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
+        ++stats_.cache_hits;
+        return {it->second->result, true};
+      }
+    }
+    const auto pending_it = pending_.find(key);
+    if (pending_it != pending_.end()) {
+      pending = pending_it->second;
+      ++stats_.cache_coalesced;
+    } else {
+      pending = std::make_shared<PendingSolve>();
+      pending_.emplace(key, pending);
+      owner = true;
+      ++stats_.cache_misses;
+    }
+  }
+  if (!owner) {
+    // Another thread is already solving this exact query (possibly against
+    // an older serving state — it was admitted before any swap, so its
+    // answer is as valid as ours would have been at arrival time).
+    return {pending->future.get(), true};
+  }
+
+  if (solve_started_hook_for_test_) solve_started_hook_for_test_();
+  std::shared_ptr<SearchResult> result;
+  try {
+    result = std::make_shared<SearchResult>(
+        Solve(*state->graph, query, state->solve));
+  } catch (...) {
+    // Solve normally aborts on contract violations, but allocation (or a
+    // future solver) can throw. Retire the pending entry and fail its
+    // waiters — leaving it would hang them and poison this key for every
+    // later query.
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = pending_.find(key);
+      if (it != pending_.end() && it->second == pending) pending_.erase(it);
+    }
+    pending->promise.set_exception(std::current_exception());
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = pending_.find(key);
+    if (it != pending_.end() && it->second == pending) pending_.erase(it);
+    // A result computed against a retired generation must not seed the
+    // fresh cache: the delta may have changed this very answer.
+    if (generation == generation_) CacheInsertLocked(key, result);
+  }
+  pending->promise.set_value(result);
   return {std::move(result), false};
 }
 
@@ -123,8 +216,57 @@ std::future<EngineResponse> QueryEngine::Submit(const Query& query) {
   auto task = std::make_shared<std::packaged_task<EngineResponse()>>(
       [this, query] { return Run(query); });
   auto future = task->get_future();
-  pool_.Submit([task] { (*task)(); });
+  if (!pool_.Submit([task] { (*task)(); })) {
+    // Pool already shutting down (engine teardown race): answer inline so
+    // the caller's future is still fulfilled instead of aborting.
+    (*task)();
+  }
   return future;
+}
+
+bool QueryEngine::ApplyDelta(const GraphDelta& delta, std::string* error) {
+  // One delta at a time; queries keep flowing against the current state
+  // while the successor is built.
+  std::lock_guard<std::mutex> apply_lock(apply_mutex_);
+  const std::shared_ptr<const ServingState> old_state = CurrentState();
+
+  const std::string problem = ValidateDelta(*old_state->graph, delta);
+  if (!problem.empty()) {
+    *error = "delta: " + problem;
+    return false;
+  }
+
+  // Maintain core numbers edge by edge (deletes first — the delta's
+  // documented order), then rebuild the CSR backend once and re-bucket
+  // the per-level member lists from the maintained numbers.
+  CoreMaintainer maintainer(*old_state->graph,
+                            old_state->index->core_numbers());
+  for (const Edge& e : delta.delete_edges) maintainer.DeleteEdge(e.u, e.v);
+  for (const Edge& e : delta.insert_edges) maintainer.InsertEdge(e.u, e.v);
+
+  auto next = std::make_shared<ServingState>();
+  next->owned_graph = ApplyValidatedDelta(*old_state->graph, delta);
+  next->graph = &next->owned_graph;
+  next->owned_index = CoreIndex::FromCoreNumbers(next->owned_graph,
+                                                 maintainer.TakeCoreNumbers());
+  next->index = next->owned_index.get();
+  next->solve = base_solve_options_;
+  next->solve.core_index = next->index;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    state_ = std::move(next);
+    ++generation_;
+    // Every cached and in-flight answer describes the old graph; drop the
+    // cache and detach the coalescing map (in-flight owners still fulfil
+    // their waiters, they just no longer seed the new cache).
+    pending_.clear();
+    lru_.clear();
+    cache_.clear();
+    cache_charge_ = 0;
+    ++stats_.deltas_applied;
+  }
+  return true;
 }
 
 EngineStats QueryEngine::stats() const {
@@ -134,40 +276,24 @@ EngineStats QueryEngine::stats() const {
   return out;
 }
 
-std::shared_ptr<const SearchResult> QueryEngine::CacheLookup(
-    const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.queries;
-  if (cache_member_budget_ == 0) {
-    ++stats_.cache_misses;
-    return nullptr;
-  }
-  const auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    ++stats_.cache_misses;
-    return nullptr;
-  }
-  lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
-  ++stats_.cache_hits;
-  return it->second->result;
-}
-
-void QueryEngine::CacheInsert(const std::string& key,
-                              std::shared_ptr<const SearchResult> result) {
+void QueryEngine::CacheInsertLocked(
+    const std::string& key,
+    const std::shared_ptr<const SearchResult>& result) {
   if (cache_member_budget_ == 0) return;
-  const std::size_t charge = ResultCharge(*result);
-  std::lock_guard<std::mutex> lock(mutex_);
-  const auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    // A concurrent miss on the same key beat us here; keep the incumbent
-    // (both computed identical results) and just refresh recency.
-    lru_.splice(lru_.begin(), lru_, it->second);
+  if (cache_.find(key) != cache_.end()) {
+    // Already resident (e.g. inserted by a racing path); keep the
+    // incumbent.
     return;
   }
   // A result bigger than the whole budget would evict everything and still
-  // not fit — serving it uncached is strictly better.
-  if (charge > cache_member_budget_) return;
-  lru_.push_front(CacheEntry{key, std::move(result), charge});
+  // not fit — serving it uncached is strictly better. Count it so the
+  // operator can see a budget that is starving large answers.
+  const std::size_t charge = ResultCharge(*result);
+  if (charge > cache_member_budget_) {
+    ++stats_.cache_uncacheable;
+    return;
+  }
+  lru_.push_front(CacheEntry{key, result, charge});
   cache_.emplace(key, lru_.begin());
   cache_charge_ += charge;
   while (cache_charge_ > cache_member_budget_) {

@@ -1,8 +1,8 @@
 // QueryEngine: the index-and-serve layer over Solve().
 //
-// One engine serves one immutable weighted graph plus the CoreIndex for
-// it, an LRU cache of finished results keyed on the canonicalized query,
-// and a fixed thread pool. The graph comes from one of two places:
+// One engine serves one weighted graph plus the CoreIndex for it, an LRU
+// cache of finished results keyed on the canonicalized query, and a fixed
+// thread pool. The graph comes from one of two places:
 //
 //   QueryEngine(graph, options)       — takes ownership of a built graph
 //                                       and runs the decomposition itself.
@@ -14,23 +14,41 @@
 //                                       copy of the graph and, with a
 //                                       persisted index, no decomposition.
 //
+// The served graph is immutable between updates, but the engine itself is
+// dynamic: ApplyDelta() takes a GraphDelta (edge inserts/deletes, weight
+// updates), rebuilds the CSR backend, maintains the core index with the
+// order-based algorithm (O(affected subgraph), not a fresh O(n + m)
+// decomposition), invalidates the result cache and atomically swaps the
+// serving state. Queries running concurrently finish against the state
+// they started with — each query pins a shared snapshot of
+// (graph, index, solve options), so a swap never pulls memory out from
+// under a solver; the old state is freed when its last query completes.
+//
 // Callers either Run() synchronously (the calling thread does the graph
 // work) or Submit() to the pool and collect a future. Either way the
 // answer is exactly what a direct Solve() on the same graph would return —
 // the index only removes the per-query re-peel, it never changes the
 // candidate stream — which the serve tests assert result-for-result.
+// Concurrent misses on the same canonical key are coalesced: the first
+// runs Solve, the rest block on its pending future instead of repeating
+// seconds of graph work.
 //
-// Thread safety: every public method is safe to call concurrently. Results
-// are handed out as shared_ptr<const SearchResult>; cached entries are
-// shared, never copied per hit.
+// Thread safety: every public method is safe to call concurrently.
+// Results are handed out as shared_ptr<const SearchResult>; cached
+// entries are shared, never copied per hit. References returned by
+// graph() / core_index() stay valid until the *next* ApplyDelta, not
+// forever — callers that interleave queries with updates should finish
+// reading before applying.
 
 #ifndef TICL_SERVE_ENGINE_H_
 #define TICL_SERVE_ENGINE_H_
 
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -39,6 +57,7 @@
 #include "core/result.h"
 #include "core/search.h"
 #include "graph/graph.h"
+#include "graph/graph_delta.h"
 #include "serve/core_index.h"
 #include "serve/mapped_snapshot.h"
 #include "serve/thread_pool.h"
@@ -53,25 +72,39 @@ struct EngineOptions {
   /// empty results still cost something). Size-aware accounting, because
   /// results vary from a handful of ids to graph-sized communities — an
   /// entry-count cap would let a few huge results blow the memory budget.
-  /// A single result larger than the whole budget is not cached at all.
-  /// 0 disables caching.
+  /// A single result larger than the whole budget is not cached at all
+  /// (counted in EngineStats::cache_uncacheable). 0 disables caching.
   std::size_t cache_member_budget = 1u << 20;
   /// Base solver configuration. The engine installs its own CoreIndex into
   /// this before every dispatch; any caller-supplied core_index is ignored.
   SolveOptions solve;
+  /// Test seam: when set, invoked on the solving thread right before a
+  /// cache-miss Solve() runs. Lets the dedup tests hold a solve open
+  /// deterministically. Never set this in production.
+  std::function<void()> solve_started_hook_for_test;
 };
 
 struct EngineStats {
   std::uint64_t queries = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  /// Queries that found a miss for their key already in flight and waited
+  /// for its result instead of re-running Solve.
+  /// cache_hits + cache_misses + cache_coalesced == queries.
+  std::uint64_t cache_coalesced = 0;
   std::uint64_t cache_evictions = 0;
+  /// Results served uncached because their member charge alone exceeded
+  /// the whole cache budget (silent before; now observable).
+  std::uint64_t cache_uncacheable = 0;
   /// Current total charge (member count) of resident cache entries.
   std::uint64_t cache_charge = 0;
+  /// Completed ApplyDelta() calls (each one cleared the cache).
+  std::uint64_t deltas_applied = 0;
 };
 
 /// One answered query. `result` is shared with the cache — never mutated
-/// after construction.
+/// after construction. `cache_hit` is true when no Solve ran for this
+/// call (a resident entry or a coalesced in-flight miss served it).
 struct EngineResponse {
   std::shared_ptr<const SearchResult> result;
   bool cache_hit = false;
@@ -100,70 +133,111 @@ class QueryEngine {
   /// snapshot carries one — both modes skip the decomposition then (kMmap
   /// views it in place, kCopy deserializes a copy); it is rebuilt from
   /// scratch only for index-less files. Returns nullptr and sets *error
-  /// when the file is unreadable, invalid, or has no weights.
+  /// when the file is unreadable, invalid, has no weights, or the solve
+  /// options are malformed (e.g. epsilon outside [0, 1)).
   static std::unique_ptr<QueryEngine> OpenSnapshot(const std::string& path,
                                                    SnapshotLoadMode mode,
                                                    EngineOptions options,
                                                    std::string* error);
 
-  const Graph& graph() const { return *graph_; }
-  const CoreIndex& core_index() const { return *index_; }
+  /// Current serving graph / index. Valid until the next ApplyDelta.
+  const Graph& graph() const;
+  const CoreIndex& core_index() const;
   unsigned num_threads() const { return pool_.num_threads(); }
 
-  /// True when the graph is a zero-copy view over a mapped snapshot.
-  bool snapshot_mapped() const { return mapped_ != nullptr; }
+  /// True while the serving graph is a zero-copy view over a mapped
+  /// snapshot (ApplyDelta rebuilds into heap arrays, clearing this).
+  bool snapshot_mapped() const;
 
-  /// True when the core index was loaded from the snapshot instead of
-  /// being recomputed at start-up.
-  bool index_from_snapshot() const { return index_from_snapshot_; }
+  /// True when the serving core index was loaded from the snapshot
+  /// instead of being recomputed at start-up (cleared by ApplyDelta).
+  bool index_from_snapshot() const;
 
   /// ValidateQuery against the engine's graph ("" = fine). Callers should
   /// gate on this; Run/Submit TICL_CHECK-abort on invalid queries just
   /// like Solve().
   std::string Validate(const Query& query) const;
 
-  /// Answers on the calling thread (cache -> indexed Solve -> cache fill).
+  /// Answers on the calling thread (cache -> coalesce -> indexed Solve ->
+  /// cache fill).
   EngineResponse Run(const Query& query);
 
-  /// Queues the query on the pool.
+  /// Queues the query on the pool. During teardown, when the pool no
+  /// longer accepts work, the query runs inline on the calling thread
+  /// instead of crashing; the returned future is valid either way.
   std::future<EngineResponse> Submit(const Query& query);
 
-  /// Cumulative counters (cache_hits + cache_misses == queries).
+  /// Applies a delta to the serving graph: validates it against the
+  /// current graph, rebuilds the CSR backend, maintains the CoreIndex
+  /// incrementally (order-based, O(affected subgraph)), invalidates the
+  /// result cache and in-flight coalescing map, and atomically swaps the
+  /// serving state. In-flight queries complete against the pre-delta
+  /// state; queries arriving after the swap see the new graph. Returns
+  /// false and sets *error when the delta does not apply cleanly (the
+  /// serving state is then untouched). Concurrent ApplyDelta calls are
+  /// serialized.
+  bool ApplyDelta(const GraphDelta& delta, std::string* error);
+
+  /// Cumulative counters.
   EngineStats stats() const;
 
  private:
+  /// Everything a query needs, pinned for its whole execution. Swapped
+  /// wholesale by ApplyDelta; retired states are freed by the last query
+  /// still holding them.
+  struct ServingState {
+    std::unique_ptr<MappedSnapshot> mapped;  // null unless mmap-backed
+    Graph owned_graph;                       // empty when mapped
+    std::unique_ptr<const CoreIndex> owned_index;  // null when mapped w/ idx
+    const Graph* graph = nullptr;
+    const CoreIndex* index = nullptr;
+    bool index_from_snapshot = false;
+    SolveOptions solve;  // base options with `index` installed
+  };
+
   struct CacheEntry {
     std::string key;
     std::shared_ptr<const SearchResult> result;
     std::size_t charge;
   };
 
+  /// A cache miss in flight: later arrivals for the same key wait on the
+  /// future instead of re-running Solve.
+  struct PendingSolve {
+    std::promise<std::shared_ptr<const SearchResult>> promise;
+    std::shared_future<std::shared_ptr<const SearchResult>> future =
+        promise.get_future().share();
+  };
+
   QueryEngine(std::unique_ptr<MappedSnapshot> mapped, Graph owned_graph,
               const std::vector<unsigned char>& index_payload,
               const EngineOptions& options);
 
-  std::shared_ptr<const SearchResult> CacheLookup(const std::string& key);
-  void CacheInsert(const std::string& key,
-                   std::shared_ptr<const SearchResult> result);
+  std::shared_ptr<const ServingState> CurrentState() const;
+  /// Inserts under mutex_ (already held). Handles budget, duplicate keys,
+  /// oversized results and eviction.
+  void CacheInsertLocked(const std::string& key,
+                         const std::shared_ptr<const SearchResult>& result);
 
-  // Destruction order matters: pool_ (declared last) dies first so no
-  // worker touches engine state mid-teardown, and mapped_ (declared
-  // first) dies last because graph_/index_ may view its mapping.
-  std::unique_ptr<MappedSnapshot> mapped_;
-  Graph owned_graph_;
-  std::unique_ptr<const CoreIndex> owned_index_;
-  const Graph* graph_ = nullptr;
-  const CoreIndex* index_ = nullptr;
-  bool index_from_snapshot_ = false;
-  SolveOptions solve_options_;
+  SolveOptions base_solve_options_;
   std::size_t cache_member_budget_;
+  std::function<void()> solve_started_hook_for_test_;
 
   mutable std::mutex mutex_;
+  std::shared_ptr<const ServingState> state_;  // guarded by mutex_
+  /// Bumped by every ApplyDelta; results computed under an older
+  /// generation are not inserted into the (already invalidated) cache.
+  std::uint64_t generation_ = 0;
+  std::unordered_map<std::string, std::shared_ptr<PendingSolve>> pending_;
   /// MRU-first recency list; the map points into it.
   std::list<CacheEntry> lru_;
   std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_;
   std::size_t cache_charge_ = 0;
   EngineStats stats_;
+
+  /// Serializes ApplyDelta callers (mutex_ alone can't: the rebuild runs
+  /// outside it so queries keep flowing).
+  std::mutex apply_mutex_;
 
   ThreadPool pool_;  // declared last: workers must die before state above
 };

@@ -1,5 +1,7 @@
 #include "serve/snapshot.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <vector>
@@ -39,8 +41,8 @@ std::string ValidateCsr(std::span<const EdgeIndex> offsets,
   return "";
 }
 
-bool ParseV2(const unsigned char* data, std::size_t size, ParsedSnapshot* out,
-             std::string* error) {
+bool ParseV2Table(const unsigned char* data, std::size_t size,
+                  std::vector<SectionRef>* sections, std::string* error) {
   const auto fail = [error](std::string msg) {
     *error = "snapshot: " + std::move(msg);
     return false;
@@ -57,7 +59,7 @@ bool ParseV2(const unsigned char* data, std::size_t size, ParsedSnapshot* out,
   std::memcpy(&version, data + 8, sizeof(version));
   if (version != 2) {
     return fail("unsupported format version " + std::to_string(version) +
-                " (ParseV2 reads version 2)");
+                " (ParseV2Table reads version 2)");
   }
   std::uint32_t section_count = 0;
   std::memcpy(&section_count, data + 12, sizeof(section_count));
@@ -79,17 +81,8 @@ bool ParseV2(const unsigned char* data, std::size_t size, ParsedSnapshot* out,
     return fail("checksum mismatch (file corrupted)");
   }
 
-  const unsigned char* meta = nullptr;
-  const unsigned char* offsets_ptr = nullptr;
-  const unsigned char* adjacency_ptr = nullptr;
-  const unsigned char* weights_ptr = nullptr;
-  const unsigned char* index_ptr = nullptr;
-  std::uint64_t meta_len = 0;
-  std::uint64_t offsets_len = 0;
-  std::uint64_t adjacency_len = 0;
-  std::uint64_t weights_len = 0;
-  std::uint64_t index_len = 0;
-
+  sections->clear();
+  sections->reserve(section_count);
   for (std::uint32_t i = 0; i < section_count; ++i) {
     const unsigned char* entry = data + kV2HeaderBytes +
                                  static_cast<std::size_t>(i) *
@@ -108,17 +101,44 @@ bool ParseV2(const unsigned char* data, std::size_t size, ParsedSnapshot* out,
       return fail("section out of bounds (type " + std::to_string(type) +
                   ")");
     }
+    sections->push_back(SectionRef{type, data + offset, length});
+  }
+  return true;
+}
+
+bool ParseV2(const unsigned char* data, std::size_t size, ParsedSnapshot* out,
+             std::string* error) {
+  const auto fail = [error](std::string msg) {
+    *error = "snapshot: " + std::move(msg);
+    return false;
+  };
+  std::vector<SectionRef> sections;
+  if (!ParseV2Table(data, size, &sections, error)) return false;
+
+  const unsigned char* meta = nullptr;
+  const unsigned char* offsets_ptr = nullptr;
+  const unsigned char* adjacency_ptr = nullptr;
+  const unsigned char* weights_ptr = nullptr;
+  const unsigned char* index_ptr = nullptr;
+  std::uint64_t meta_len = 0;
+  std::uint64_t offsets_len = 0;
+  std::uint64_t adjacency_len = 0;
+  std::uint64_t weights_len = 0;
+  std::uint64_t index_len = 0;
+  bool has_delta_sections = false;
+
+  for (const SectionRef& section : sections) {
     const auto claim = [&](const unsigned char** ptr, std::uint64_t* len,
                            const char* what) {
       if (*ptr != nullptr) {
         *error = std::string("snapshot: duplicate section (") + what + ")";
         return false;
       }
-      *ptr = data + offset;
-      *len = length;
+      *ptr = section.data;
+      *len = section.length;
       return true;
     };
-    switch (type) {
+    switch (section.type) {
       case kSectionGraphMeta:
         if (!claim(&meta, &meta_len, "graph_meta")) return false;
         break;
@@ -134,13 +154,30 @@ bool ParseV2(const unsigned char* data, std::size_t size, ParsedSnapshot* out,
       case kSectionCoreIndex:
         if (!claim(&index_ptr, &index_len, "core_index")) return false;
         break;
+      case kSectionDeltaMeta:
+      case kSectionDeltaEdges:
+      case kSectionDeltaWeights:
+        has_delta_sections = true;
+        break;
       default:
         break;  // unknown optional section: skip (forward compatibility)
     }
   }
 
   if (meta == nullptr || offsets_ptr == nullptr || adjacency_ptr == nullptr) {
+    if (has_delta_sections) {
+      return fail("this is a delta snapshot (edits against a parent), not a "
+                  "full graph; replay it onto its base with LoadSnapshotChain "
+                  "/ --delta");
+    }
     return fail("missing required section (graph_meta/offsets/adjacency)");
+  }
+  // A full snapshot must not also carry delta sections — accepting the mix
+  // would serve the base graph with the recorded edits silently dropped
+  // (and the delta loader rejects the same file, so the two loaders would
+  // disagree about what it is).
+  if (has_delta_sections) {
+    return fail("file carries both graph and delta sections");
   }
   if (meta_len != 16) return fail("graph_meta section size mismatch");
   std::uint64_t n = 0;
@@ -153,7 +190,7 @@ bool ParseV2(const unsigned char* data, std::size_t size, ParsedSnapshot* out,
   if (offsets_len != (n + 1) * sizeof(EdgeIndex)) {
     return fail("offsets section size mismatch");
   }
-  if (adj_count > payload_end / sizeof(VertexId)) {
+  if (adj_count > (size - kChecksumBytes) / sizeof(VertexId)) {
     return fail("declared adjacency length exceeds file size");
   }
   if (adjacency_len != adj_count * sizeof(VertexId)) {
@@ -279,49 +316,18 @@ bool WriteV1Body(std::FILE* f, const Graph& g, std::string* error) {
   return WriteChecked(f, nullptr, &digest, sizeof(digest), error);
 }
 
-bool WriteV2Body(std::FILE* f, const Graph& g,
-                 const SaveSnapshotOptions& options, std::string* error) {
-  const std::uint64_t n = g.num_vertices();
-  const std::uint64_t adj_count = g.adjacency().size();
+struct Section {
+  std::uint32_t type;
+  const void* data;
+  std::uint64_t length;
+};
 
-  const std::vector<EdgeIndex> empty_offsets{0};
-  const std::span<const EdgeIndex> offsets =
-      g.offsets().empty() ? std::span<const EdgeIndex>(empty_offsets)
-                          : g.offsets();
-
-  unsigned char meta[16];
-  std::memcpy(meta, &n, sizeof(n));
-  std::memcpy(meta + 8, &adj_count, sizeof(adj_count));
-
-  std::vector<unsigned char> index_bytes;
-  if (options.core_index != nullptr) {
-    if (!(options.core_index->fingerprint() == g.fingerprint())) {
-      *error = "snapshot: core index does not match the graph being saved";
-      return false;
-    }
-    options.core_index->AppendSerialized(&index_bytes);
-  }
-
-  struct Section {
-    std::uint32_t type;
-    const void* data;
-    std::uint64_t length;
-  };
-  std::vector<Section> sections;
-  sections.push_back({fmt::kSectionGraphMeta, meta, sizeof(meta)});
-  sections.push_back({fmt::kSectionOffsets, offsets.data(),
-                      offsets.size() * sizeof(EdgeIndex)});
-  sections.push_back({fmt::kSectionAdjacency, g.adjacency().data(),
-                      adj_count * sizeof(VertexId)});
-  if (g.has_weights()) {
-    sections.push_back(
-        {fmt::kSectionWeights, g.weights().data(), n * sizeof(Weight)});
-  }
-  if (options.core_index != nullptr) {
-    sections.push_back(
-        {fmt::kSectionCoreIndex, index_bytes.data(), index_bytes.size()});
-  }
-
+/// Writes the whole v2 container — header, section table, payloads padded
+/// to the 8-byte boundary (padding is zero and checksummed; `length`
+/// stays unpadded), trailing digest. Shared by the full-snapshot and
+/// delta-snapshot writers.
+bool WriteV2Container(std::FILE* f, const std::vector<Section>& sections,
+                      std::string* error) {
   Fnv1a checksum;
   const std::uint32_t version = 2;
   const auto section_count = static_cast<std::uint32_t>(sections.size());
@@ -331,9 +337,6 @@ bool WriteV2Body(std::FILE* f, const Graph& g,
                     error)) {
     return false;
   }
-  // Section table: offsets are assigned back to back, each payload padded
-  // to the 8-byte alignment boundary (padding bytes are zero and are part
-  // of the checksum; `length` stays the unpadded payload size).
   std::uint64_t cursor =
       fmt::kV2HeaderBytes + sections.size() * fmt::kSectionEntryBytes;
   for (const Section& section : sections) {
@@ -358,6 +361,46 @@ bool WriteV2Body(std::FILE* f, const Graph& g,
   }
   const std::uint64_t digest = checksum.Digest();
   return WriteChecked(f, nullptr, &digest, sizeof(digest), error);
+}
+
+bool WriteV2Body(std::FILE* f, const Graph& g,
+                 const SaveSnapshotOptions& options, std::string* error) {
+  const std::uint64_t n = g.num_vertices();
+  const std::uint64_t adj_count = g.adjacency().size();
+
+  const std::vector<EdgeIndex> empty_offsets{0};
+  const std::span<const EdgeIndex> offsets =
+      g.offsets().empty() ? std::span<const EdgeIndex>(empty_offsets)
+                          : g.offsets();
+
+  unsigned char meta[16];
+  std::memcpy(meta, &n, sizeof(n));
+  std::memcpy(meta + 8, &adj_count, sizeof(adj_count));
+
+  std::vector<unsigned char> index_bytes;
+  if (options.core_index != nullptr) {
+    if (!(options.core_index->fingerprint() == g.fingerprint())) {
+      *error = "snapshot: core index does not match the graph being saved";
+      return false;
+    }
+    options.core_index->AppendSerialized(&index_bytes);
+  }
+
+  std::vector<Section> sections;
+  sections.push_back({fmt::kSectionGraphMeta, meta, sizeof(meta)});
+  sections.push_back({fmt::kSectionOffsets, offsets.data(),
+                      offsets.size() * sizeof(EdgeIndex)});
+  sections.push_back({fmt::kSectionAdjacency, g.adjacency().data(),
+                      adj_count * sizeof(VertexId)});
+  if (g.has_weights()) {
+    sections.push_back(
+        {fmt::kSectionWeights, g.weights().data(), n * sizeof(Weight)});
+  }
+  if (options.core_index != nullptr) {
+    sections.push_back(
+        {fmt::kSectionCoreIndex, index_bytes.data(), index_bytes.size()});
+  }
+  return WriteV2Container(f, sections, error);
 }
 
 /// v1 load body. `checksum` has already consumed magic + version.
@@ -500,6 +543,32 @@ bool LoadV2Body(std::FILE* f, Graph* out,
   return true;
 }
 
+/// Writes `path` atomically: the body goes to a sibling temp file that is
+/// renamed over `path` on success.
+template <typename BodyFn>
+bool AtomicWrite(const std::string& path, BodyFn&& body, std::string* error) {
+  const std::string tmp_path = path + ".tmp";
+  std::FILE* raw = std::fopen(tmp_path.c_str(), "wb");
+  if (raw == nullptr) {
+    *error = "snapshot: cannot open " + tmp_path + " for writing";
+    return false;
+  }
+  FileGuard file(raw, tmp_path);
+  std::FILE* f = file.get();
+  if (!body(f)) return false;
+  if (std::fflush(f) != 0) {
+    *error = "snapshot: flush failed";
+    return false;
+  }
+  file.CloseAndCommit();
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    *error = "snapshot: cannot rename " + tmp_path + " to " + path;
+    std::remove(tmp_path.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 bool SaveSnapshot(const std::string& path, const Graph& g,
@@ -518,28 +587,13 @@ bool SaveSnapshot(const std::string& path, const Graph& g,
     *error = "snapshot: format v1 cannot embed a core index (use v2)";
     return false;
   }
-  const std::string tmp_path = path + ".tmp";
-  std::FILE* raw = std::fopen(tmp_path.c_str(), "wb");
-  if (raw == nullptr) {
-    *error = "snapshot: cannot open " + tmp_path + " for writing";
-    return false;
-  }
-  FileGuard file(raw, tmp_path);
-  std::FILE* f = file.get();
-  const bool ok = options.version == 2 ? WriteV2Body(f, g, options, error)
-                                       : WriteV1Body(f, g, error);
-  if (!ok) return false;
-  if (std::fflush(f) != 0) {
-    *error = "snapshot: flush failed";
-    return false;
-  }
-  file.CloseAndCommit();
-  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
-    *error = "snapshot: cannot rename " + tmp_path + " to " + path;
-    std::remove(tmp_path.c_str());
-    return false;
-  }
-  return true;
+  return AtomicWrite(
+      path,
+      [&](std::FILE* f) {
+        return options.version == 2 ? WriteV2Body(f, g, options, error)
+                                    : WriteV1Body(f, g, error);
+      },
+      error);
 }
 
 bool LoadSnapshot(const std::string& path, Graph* out, std::string* error) {
@@ -578,6 +632,217 @@ bool LoadSnapshotWithIndex(const std::string& path, Graph* out,
            " (newest supported " + std::to_string(kSnapshotFormatVersion) +
            ")";
   return false;
+}
+
+bool SaveDeltaSnapshot(const std::string& path, const GraphDelta& delta,
+                       const GraphFingerprint& parent, std::string* error) {
+  unsigned char meta[fmt::kDeltaMetaBytes];
+  const std::uint64_t insert_count = delta.insert_edges.size();
+  const std::uint64_t delete_count = delta.delete_edges.size();
+  const std::uint64_t weight_count = delta.weight_updates.size();
+  std::memcpy(meta, &parent.num_vertices, 8);
+  std::memcpy(meta + 8, &parent.adjacency_len, 8);
+  std::memcpy(meta + 16, &parent.csr_hash, 8);
+  std::memcpy(meta + 24, &insert_count, 8);
+  std::memcpy(meta + 32, &delete_count, 8);
+  std::memcpy(meta + 40, &weight_count, 8);
+
+  // Edge pairs are stored normalized (u < v) so a byte-identical delta
+  // always produces a byte-identical file.
+  std::vector<VertexId> edge_words;
+  edge_words.reserve((insert_count + delete_count) * 2);
+  const auto append_edges = [&edge_words](const std::vector<Edge>& edges) {
+    for (const Edge& e : edges) {
+      edge_words.push_back(std::min(e.u, e.v));
+      edge_words.push_back(std::max(e.u, e.v));
+    }
+  };
+  append_edges(delta.insert_edges);
+  append_edges(delta.delete_edges);
+
+  std::vector<unsigned char> weight_bytes;
+  weight_bytes.reserve(weight_count * 16);
+  for (const WeightUpdate& wu : delta.weight_updates) {
+    const std::uint64_t vertex = wu.vertex;
+    const unsigned char* vp = reinterpret_cast<const unsigned char*>(&vertex);
+    const unsigned char* wp =
+        reinterpret_cast<const unsigned char*>(&wu.weight);
+    weight_bytes.insert(weight_bytes.end(), vp, vp + 8);
+    weight_bytes.insert(weight_bytes.end(), wp, wp + 8);
+  }
+
+  std::vector<Section> sections;
+  sections.push_back({fmt::kSectionDeltaMeta, meta, sizeof(meta)});
+  if (!edge_words.empty()) {
+    sections.push_back({fmt::kSectionDeltaEdges, edge_words.data(),
+                        edge_words.size() * sizeof(VertexId)});
+  }
+  if (!weight_bytes.empty()) {
+    sections.push_back({fmt::kSectionDeltaWeights, weight_bytes.data(),
+                        weight_bytes.size()});
+  }
+  return AtomicWrite(
+      path, [&](std::FILE* f) { return WriteV2Container(f, sections, error); },
+      error);
+}
+
+bool LoadDeltaSnapshot(const std::string& path, GraphDelta* delta,
+                       GraphFingerprint* parent, std::string* error) {
+  const auto fail = [error](std::string msg) {
+    *error = "snapshot: " + std::move(msg);
+    return false;
+  };
+  std::FILE* raw = std::fopen(path.c_str(), "rb");
+  if (raw == nullptr) {
+    *error = "snapshot: cannot open " + path;
+    return false;
+  }
+  FileGuard file(raw, "");
+  std::FILE* f = file.get();
+  if (std::fseek(f, 0, SEEK_END) != 0) return fail("seek failed");
+  const long file_size = std::ftell(f);
+  if (file_size < 0 || std::fseek(f, 0, SEEK_SET) != 0) {
+    return fail("seek failed");
+  }
+  std::vector<unsigned char> buffer(static_cast<std::size_t>(file_size));
+  if (!ReadChecked(f, nullptr, buffer.data(), buffer.size(), "file", error)) {
+    return false;
+  }
+
+  std::vector<fmt::SectionRef> sections;
+  if (!fmt::ParseV2Table(buffer.data(), buffer.size(), &sections, error)) {
+    return false;
+  }
+  const fmt::SectionRef* meta = nullptr;
+  const fmt::SectionRef* edges = nullptr;
+  const fmt::SectionRef* weights = nullptr;
+  bool has_graph_sections = false;
+  for (const fmt::SectionRef& section : sections) {
+    switch (section.type) {
+      case fmt::kSectionDeltaMeta:
+        if (meta != nullptr) return fail("duplicate section (delta_meta)");
+        meta = &section;
+        break;
+      case fmt::kSectionDeltaEdges:
+        if (edges != nullptr) return fail("duplicate section (delta_edges)");
+        edges = &section;
+        break;
+      case fmt::kSectionDeltaWeights:
+        if (weights != nullptr) {
+          return fail("duplicate section (delta_weights)");
+        }
+        weights = &section;
+        break;
+      case fmt::kSectionGraphMeta:
+        has_graph_sections = true;
+        break;
+      default:
+        break;
+    }
+  }
+  if (meta == nullptr) {
+    if (has_graph_sections) {
+      return fail("this is a full snapshot, not a delta; load it with "
+                  "LoadSnapshot / --snapshot");
+    }
+    return fail("missing required section (delta_meta)");
+  }
+  if (has_graph_sections) {
+    return fail("file carries both graph and delta sections");
+  }
+  if (meta->length != fmt::kDeltaMetaBytes) {
+    return fail("delta_meta section size mismatch");
+  }
+
+  GraphFingerprint stored;
+  std::uint64_t insert_count = 0;
+  std::uint64_t delete_count = 0;
+  std::uint64_t weight_count = 0;
+  std::memcpy(&stored.num_vertices, meta->data, 8);
+  std::memcpy(&stored.adjacency_len, meta->data + 8, 8);
+  std::memcpy(&stored.csr_hash, meta->data + 16, 8);
+  std::memcpy(&insert_count, meta->data + 24, 8);
+  std::memcpy(&delete_count, meta->data + 32, 8);
+  std::memcpy(&weight_count, meta->data + 40, 8);
+  const std::uint64_t n = stored.num_vertices;
+  if (n > static_cast<std::uint64_t>(kInvalidVertex)) {
+    return fail("parent vertex count exceeds VertexId range");
+  }
+
+  const std::uint64_t edge_bytes_budget =
+      edges == nullptr ? 0 : edges->length;
+  if (insert_count > edge_bytes_budget / 8 ||
+      delete_count > edge_bytes_budget / 8 ||
+      (insert_count + delete_count) * 8 != edge_bytes_budget) {
+    return fail("delta_edges section size mismatch");
+  }
+  const std::uint64_t weight_bytes_budget =
+      weights == nullptr ? 0 : weights->length;
+  if (weight_count > weight_bytes_budget / 16 ||
+      weight_count * 16 != weight_bytes_budget) {
+    return fail("delta_weights section size mismatch");
+  }
+
+  GraphDelta parsed;
+  parsed.insert_edges.reserve(insert_count);
+  parsed.delete_edges.reserve(delete_count);
+  parsed.weight_updates.reserve(weight_count);
+  for (std::uint64_t i = 0; i < insert_count + delete_count; ++i) {
+    VertexId u = 0;
+    VertexId v = 0;
+    std::memcpy(&u, edges->data + i * 8, 4);
+    std::memcpy(&v, edges->data + i * 8 + 4, 4);
+    if (u >= n || v >= n) return fail("delta edge endpoint out of range");
+    if (u == v) return fail("delta edge is a self-loop");
+    Edge e{std::min(u, v), std::max(u, v)};
+    if (i < insert_count) {
+      parsed.insert_edges.push_back(e);
+    } else {
+      parsed.delete_edges.push_back(e);
+    }
+  }
+  for (std::uint64_t i = 0; i < weight_count; ++i) {
+    std::uint64_t vertex = 0;
+    Weight weight = 0.0;
+    std::memcpy(&vertex, weights->data + i * 16, 8);
+    std::memcpy(&weight, weights->data + i * 16 + 8, 8);
+    if (vertex >= n) return fail("delta weight vertex out of range");
+    if (!(weight >= 0.0) || std::isinf(weight)) {
+      return fail("delta weight must be finite and non-negative");
+    }
+    parsed.weight_updates.push_back(
+        WeightUpdate{static_cast<VertexId>(vertex), weight});
+  }
+
+  *delta = std::move(parsed);
+  *parent = stored;
+  return true;
+}
+
+bool LoadSnapshotChain(const std::string& base_path,
+                       const std::vector<std::string>& delta_paths,
+                       Graph* out, std::string* error) {
+  Graph g;
+  if (!LoadSnapshot(base_path, &g, error)) return false;
+  for (const std::string& path : delta_paths) {
+    GraphDelta delta;
+    GraphFingerprint parent;
+    if (!LoadDeltaSnapshot(path, &delta, &parent, error)) return false;
+    if (!(parent == g.fingerprint())) {
+      *error = "snapshot: delta " + path +
+               " was recorded against a different parent (fingerprint "
+               "mismatch — wrong base snapshot or wrong chain order)";
+      return false;
+    }
+    const std::string problem = ValidateDelta(g, delta);
+    if (!problem.empty()) {
+      *error = "snapshot: delta " + path + ": " + problem;
+      return false;
+    }
+    g = ApplyValidatedDelta(g, delta);
+  }
+  *out = std::move(g);
+  return true;
 }
 
 }  // namespace ticl

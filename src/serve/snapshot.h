@@ -35,9 +35,14 @@
 //   3 adjacency   adjacency_len x uint32                    required
 //   4 weights     n x double                                optional
 //   5 core_index  CoreIndex serialization (core_index.h)    optional
+//   6 delta_meta  parent fingerprint + edit counts          delta files
+//   7 delta_edges edge insert/delete pairs                  delta files
+//   8 delta_weights vertex reweights                        delta files
 //
-// Unknown section types are skipped on load, so future optional sections
-// (delta edits, shard maps, ...) stay backward compatible. Loads validate
+// Sections 1-5 make a *full* snapshot, sections 6-8 a *delta* snapshot
+// (see SaveDeltaSnapshot below); a file is one or the other. Unknown
+// section types are skipped on load, so future optional sections (shard
+// maps, ...) stay backward compatible. Loads validate
 // magic, version, table bounds and alignment, the checksum, the CSR
 // invariants (monotone offsets, in-range sorted neighbour lists; symmetry
 // is trusted to the producer) and weight values. Every failure is reported
@@ -78,6 +83,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "graph/graph_delta.h"
 
 namespace ticl {
 
@@ -121,6 +127,37 @@ bool LoadSnapshot(const std::string& path, Graph* out, std::string* error);
 bool LoadSnapshotWithIndex(const std::string& path, Graph* out,
                            std::vector<unsigned char>* core_index_payload,
                            std::string* error);
+
+// -- Delta snapshots --------------------------------------------------------
+//
+// A delta snapshot is a v2 container holding a GraphDelta and the
+// fingerprint of the *parent* graph it applies to, instead of the graph
+// sections — a child release is then a few kilobytes of edits rather than
+// a full CSR rewrite. Children chain: base.snap <- d1.snap <- d2.snap,
+// each delta's parent fingerprint matching the graph produced by
+// everything before it, so a mis-ordered or foreign delta is rejected
+// before any mutation happens. Full-snapshot loaders reject delta files
+// (and vice versa) with a message naming the other loader.
+
+/// Writes `delta` against a parent identified by `parent` (atomically,
+/// like SaveSnapshot). The delta is stored verbatim; it is validated
+/// against the actual parent graph at load/apply time.
+bool SaveDeltaSnapshot(const std::string& path, const GraphDelta& delta,
+                       const GraphFingerprint& parent, std::string* error);
+
+/// Reads a delta snapshot back. On success *delta and *parent are filled.
+/// Fails (with a pointed message) on full snapshots, corruption, or
+/// malformed delta sections.
+bool LoadDeltaSnapshot(const std::string& path, GraphDelta* delta,
+                       GraphFingerprint* parent, std::string* error);
+
+/// Loads `base_path` (a full snapshot) and replays `delta_paths` in
+/// order, verifying each delta's parent fingerprint against the graph it
+/// is applied to and validating the delta itself. On success *out is the
+/// final graph (always heap-owned).
+bool LoadSnapshotChain(const std::string& base_path,
+                       const std::vector<std::string>& delta_paths,
+                       Graph* out, std::string* error);
 
 }  // namespace ticl
 

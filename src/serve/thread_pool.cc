@@ -15,23 +15,28 @@ ThreadPool::ThreadPool(unsigned num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     shutting_down_ = true;
   }
   work_available_.notify_all();
-  for (std::thread& worker : workers_) worker.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
 }
 
-void ThreadPool::Submit(std::function<void()> job) {
+bool ThreadPool::Submit(std::function<void()> job) {
   TICL_CHECK(job != nullptr);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    TICL_CHECK_MSG(!shutting_down_, "Submit after shutdown");
+    if (shutting_down_) return false;
     queue_.push_back(std::move(job));
   }
   work_available_.notify_one();
+  return true;
 }
 
 void ThreadPool::Wait() {

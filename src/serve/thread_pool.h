@@ -25,14 +25,23 @@ class ThreadPool {
   /// hardware_concurrency, itself clamped to at least 1).
   explicit ThreadPool(unsigned num_threads);
 
-  /// Drains nothing: pending jobs still run, then workers exit and join.
+  /// Calls Shutdown(): pending jobs still run, then workers exit and join.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a job. Must not be called after destruction begins.
-  void Submit(std::function<void()> job);
+  /// Enqueues a job. Returns true when the job was accepted; returns
+  /// false — dropping the job — once shutdown has begun. The caller must
+  /// then handle the work itself (QueryEngine runs it inline), so a
+  /// teardown race degrades to on-caller execution instead of a
+  /// TICL_CHECK abort of the whole process.
+  [[nodiscard]] bool Submit(std::function<void()> job);
+
+  /// Stops accepting jobs, lets the queue drain, and joins the workers.
+  /// Idempotent and safe to call concurrently with Submit; the destructor
+  /// calls it too.
+  void Shutdown();
 
   /// Blocks until every submitted job has finished executing (not merely
   /// been dequeued).

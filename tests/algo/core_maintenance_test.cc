@@ -1,0 +1,184 @@
+// CoreMaintainer correctness: every sequence of maintained edits must
+// leave core numbers bit-identical to a from-scratch CoreDecomposition of
+// the edited graph — that equivalence is the oracle for the whole
+// dynamic-graph feature, so it is hammered with randomized churn here.
+
+#include "algo/core_maintenance.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algo/core_decomposition.h"
+#include "gen/chung_lu.h"
+#include "gen/erdos_renyi.h"
+#include "graph/graph_delta.h"
+#include "testing/builders.h"
+#include "util/rng.h"
+
+namespace ticl {
+namespace {
+
+using testing::CompleteGraph;
+using testing::CycleGraph;
+using testing::PathGraph;
+using testing::TwoTrianglesAndK4;
+
+/// The oracle: maintained numbers vs a fresh decomposition of `edited`.
+void ExpectCoresMatch(const CoreMaintainer& maintainer, const Graph& edited,
+                      const char* context) {
+  const CoreDecompositionResult fresh = CoreDecomposition(edited);
+  ASSERT_EQ(maintainer.core_numbers(), fresh.core) << context;
+  EXPECT_EQ(maintainer.ComputeDegeneracy(), fresh.degeneracy) << context;
+}
+
+TEST(CoreMaintainerTest, InsertBridgingEdgeKeepsCores) {
+  const Graph g = TwoTrianglesAndK4();
+  CoreMaintainer m(g);
+  m.InsertEdge(5, 6);  // triangle B vertex to K4 vertex
+  GraphDelta delta;
+  delta.insert_edges = {Edge{5, 6}};
+  ExpectCoresMatch(m, ApplyDeltaToGraph(g, delta), "bridge insert");
+}
+
+TEST(CoreMaintainerTest, InsertCompletingTriangleRaisesCores) {
+  const Graph g = PathGraph(3);  // 0-1-2, all cores 1
+  CoreMaintainer m(g);
+  m.InsertEdge(0, 2);
+  EXPECT_EQ(m.core_numbers(), (std::vector<VertexId>{2, 2, 2}));
+  GraphDelta delta;
+  delta.insert_edges = {Edge{0, 2}};
+  ExpectCoresMatch(m, ApplyDeltaToGraph(g, delta), "triangle completion");
+}
+
+TEST(CoreMaintainerTest, InsertIntoEmptyCorePair) {
+  GraphBuilder b;
+  b.SetNumVertices(3);
+  b.AddEdge(0, 1);
+  const Graph g = b.Build();  // vertex 2 isolated, core 0
+  CoreMaintainer m(g);
+  m.InsertEdge(1, 2);
+  EXPECT_EQ(m.core_numbers(), (std::vector<VertexId>{1, 1, 1}));
+}
+
+TEST(CoreMaintainerTest, DeleteCascadesThroughTheShell) {
+  // Cycle: all cores 2; cutting one edge collapses the whole 2-shell to 1.
+  const Graph g = CycleGraph(6);
+  CoreMaintainer m(g);
+  m.DeleteEdge(0, 5);
+  EXPECT_EQ(m.core_numbers(), (std::vector<VertexId>(6, 1)));
+  GraphDelta delta;
+  delta.delete_edges = {Edge{0, 5}};
+  ExpectCoresMatch(m, ApplyDeltaToGraph(g, delta), "cycle cut");
+}
+
+TEST(CoreMaintainerTest, DeleteToIsolation) {
+  const Graph g = PathGraph(2);
+  CoreMaintainer m(g);
+  m.DeleteEdge(0, 1);
+  EXPECT_EQ(m.core_numbers(), (std::vector<VertexId>{0, 0}));
+}
+
+TEST(CoreMaintainerTest, DeleteInsideCliqueDropsByOne) {
+  const Graph g = CompleteGraph(5);  // cores all 4
+  CoreMaintainer m(g);
+  m.DeleteEdge(0, 1);
+  GraphDelta delta;
+  delta.delete_edges = {Edge{0, 1}};
+  ExpectCoresMatch(m, ApplyDeltaToGraph(g, delta), "clique edge delete");
+}
+
+TEST(CoreMaintainerTest, ReinsertAfterDeleteRestoresOriginal) {
+  const Graph g = TwoTrianglesAndK4();
+  const CoreDecompositionResult original = CoreDecomposition(g);
+  CoreMaintainer m(g);
+  m.DeleteEdge(6, 7);
+  m.DeleteEdge(2, 3);
+  m.InsertEdge(2, 3);
+  m.InsertEdge(6, 7);  // revives the masked base edge
+  EXPECT_EQ(m.core_numbers(), original.core);
+  EXPECT_TRUE(m.HasEdge(6, 7));
+}
+
+TEST(CoreMaintainerTest, HasEdgeTracksOverlay) {
+  const Graph g = TwoTrianglesAndK4();
+  CoreMaintainer m(g);
+  EXPECT_TRUE(m.HasEdge(0, 1));
+  EXPECT_FALSE(m.HasEdge(0, 9));
+  m.InsertEdge(0, 9);
+  EXPECT_TRUE(m.HasEdge(0, 9));
+  m.DeleteEdge(0, 9);  // removes the overlay edge again
+  EXPECT_FALSE(m.HasEdge(0, 9));
+  m.DeleteEdge(0, 1);  // masks a base edge
+  EXPECT_FALSE(m.HasEdge(0, 1));
+}
+
+/// Randomized churn: interleaved inserts and deletes, checking the oracle
+/// after every single edit so a wrong intermediate state cannot be masked
+/// by a later compensating mistake. The maintainer keeps viewing `base`
+/// (its contract: a stable base graph plus its own overlay); `current`
+/// evolves separately for the from-scratch oracle.
+void ChurnTest(const Graph& base, std::uint64_t seed, int steps) {
+  Rng rng(seed);
+  CoreMaintainer m(base);
+  Graph current = base;
+  for (int step = 0; step < steps; ++step) {
+    const bool do_insert =
+        current.num_edges() == 0 || rng.NextBernoulli(0.5);
+    GraphDelta delta;
+    if (do_insert) {
+      const GraphDelta random = RandomDelta(current, rng.Next(), 1, 0, 0);
+      delta.insert_edges = random.insert_edges;
+      m.InsertEdge(delta.insert_edges[0].u, delta.insert_edges[0].v);
+    } else {
+      const GraphDelta random = RandomDelta(current, rng.Next(), 0, 1, 0);
+      delta.delete_edges = random.delete_edges;
+      m.DeleteEdge(delta.delete_edges[0].u, delta.delete_edges[0].v);
+    }
+    current = ApplyDeltaToGraph(current, delta);
+    const CoreDecompositionResult fresh = CoreDecomposition(current);
+    ASSERT_EQ(m.core_numbers(), fresh.core)
+        << "seed " << seed << " step " << step
+        << (do_insert ? " (insert)" : " (delete)");
+  }
+}
+
+TEST(CoreMaintainerRandomizedTest, SparseGraphChurn) {
+  ChungLuOptions cl;
+  cl.num_vertices = 200;
+  cl.target_average_degree = 4.0;
+  cl.gamma = 2.5;
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    cl.seed = seed;
+    ChurnTest(GenerateChungLu(cl), seed, 120);
+  }
+}
+
+TEST(CoreMaintainerRandomizedTest, DenserGraphChurn) {
+  for (const std::uint64_t seed : {11u, 12u}) {
+    ChurnTest(GenerateErdosRenyi(/*n=*/120, /*m=*/600, seed), seed, 100);
+  }
+}
+
+TEST(CoreMaintainerRandomizedTest, BatchDeltaMatchesRebuild) {
+  // The ApplyDelta shape: one big batch (1% churn), oracle checked once.
+  ChungLuOptions cl;
+  cl.num_vertices = 2000;
+  cl.target_average_degree = 8.0;
+  cl.gamma = 2.5;
+  cl.seed = 99;
+  const Graph g = GenerateChungLu(cl);
+  const std::size_t churn = g.num_edges() / 100;
+  const GraphDelta delta = RandomDelta(g, 5, churn, churn, 0);
+
+  CoreMaintainer m(g);
+  for (const Edge& e : delta.delete_edges) m.DeleteEdge(e.u, e.v);
+  for (const Edge& e : delta.insert_edges) m.InsertEdge(e.u, e.v);
+  const Graph edited = ApplyDeltaToGraph(g, delta);
+  const CoreDecompositionResult fresh = CoreDecomposition(edited);
+  EXPECT_EQ(m.core_numbers(), fresh.core);
+  EXPECT_GT(m.changed_vertices() + m.visited_vertices(), 0u);
+}
+
+}  // namespace
+}  // namespace ticl

@@ -1,5 +1,7 @@
 #include "core/search.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "core/verification.h"
@@ -115,6 +117,25 @@ TEST(SolveTest, ExactSolverViaFacade) {
   const SearchResult result = Solve(g, q, options);
   ASSERT_EQ(result.communities.size(), 1u);
   EXPECT_DOUBLE_EQ(result.communities[0].influence, 105.0);
+}
+
+// Regression: a user-supplied --epsilon of 1.0 (or anything outside
+// [0, 1)) used to sail through the tools into ImprovedSearch's
+// TICL_CHECK and abort the process; ValidateSolveOptions is the clean
+// gate the tools and the serve layer now use.
+TEST(ValidateSolveOptionsTest, RejectsEpsilonOutsideHalfOpenUnitRange) {
+  SolveOptions options;
+  EXPECT_EQ(ValidateSolveOptions(options), "");  // default 0.1
+  options.epsilon = 0.0;
+  EXPECT_EQ(ValidateSolveOptions(options), "");  // exact Improve config
+  options.epsilon = 0.999;
+  EXPECT_EQ(ValidateSolveOptions(options), "");
+  options.epsilon = 1.0;
+  EXPECT_NE(ValidateSolveOptions(options), "");
+  options.epsilon = -0.1;
+  EXPECT_NE(ValidateSolveOptions(options), "");
+  options.epsilon = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_NE(ValidateSolveOptions(options), "");
 }
 
 TEST(SolverKindNameTest, AllNamed) {

@@ -1,0 +1,195 @@
+#include "graph/graph_delta.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "gen/chung_lu.h"
+#include "testing/builders.h"
+
+namespace ticl {
+namespace {
+
+using testing::Members;
+using testing::PathGraph;
+using testing::ToVector;
+using testing::TwoTrianglesAndK4;
+
+TEST(ValidateDeltaTest, AcceptsEmptyDelta) {
+  const Graph g = TwoTrianglesAndK4();
+  EXPECT_EQ(ValidateDelta(g, {}), "");
+}
+
+TEST(ValidateDeltaTest, RejectsBadEdges) {
+  const Graph g = TwoTrianglesAndK4();
+  GraphDelta delta;
+  delta.insert_edges = {Edge{0, 10}};  // out of range (n = 10)
+  EXPECT_NE(ValidateDelta(g, delta), "");
+
+  delta.insert_edges = {Edge{3, 3}};  // self-loop
+  EXPECT_NE(ValidateDelta(g, delta), "");
+
+  delta.insert_edges = {Edge{0, 1}};  // already present
+  EXPECT_NE(ValidateDelta(g, delta), "");
+
+  delta.insert_edges = {Edge{0, 6}, Edge{6, 0}};  // duplicate (reversed)
+  EXPECT_NE(ValidateDelta(g, delta), "");
+
+  delta.insert_edges.clear();
+  delta.delete_edges = {Edge{0, 6}};  // not present
+  EXPECT_NE(ValidateDelta(g, delta), "");
+
+  delta.delete_edges = {Edge{0, 1}, Edge{1, 0}};  // duplicate delete
+  EXPECT_NE(ValidateDelta(g, delta), "");
+
+  delta.insert_edges = {Edge{0, 6}};
+  delta.delete_edges = {Edge{0, 6}};  // insert and delete the same edge
+  EXPECT_NE(ValidateDelta(g, delta), "");
+}
+
+TEST(ValidateDeltaTest, RejectsBadWeightUpdates) {
+  Graph weighted = TwoTrianglesAndK4();
+  GraphDelta delta;
+  delta.weight_updates = {WeightUpdate{10, 1.0}};  // out of range
+  EXPECT_NE(ValidateDelta(weighted, delta), "");
+
+  delta.weight_updates = {WeightUpdate{0, -1.0}};  // negative
+  EXPECT_NE(ValidateDelta(weighted, delta), "");
+
+  delta.weight_updates = {WeightUpdate{0, 1.0}, WeightUpdate{0, 2.0}};
+  EXPECT_NE(ValidateDelta(weighted, delta), "");  // duplicate vertex
+
+  const Graph unweighted = PathGraph(4);
+  delta.weight_updates = {WeightUpdate{0, 1.0}};
+  EXPECT_NE(ValidateDelta(unweighted, delta), "");
+
+  delta.weight_updates = {WeightUpdate{0, 1.0}};
+  EXPECT_EQ(ValidateDelta(weighted, delta), "");
+}
+
+TEST(ApplyDeltaTest, InsertDeleteAndReweight) {
+  const Graph g = TwoTrianglesAndK4();
+  GraphDelta delta;
+  delta.insert_edges = {Edge{5, 6}};   // bridge the two components
+  delta.delete_edges = {Edge{2, 3}};   // cut the triangle bridge
+  delta.weight_updates = {WeightUpdate{9, 50.0}};
+
+  const Graph out = ApplyDeltaToGraph(g, delta);
+  EXPECT_EQ(out.num_vertices(), g.num_vertices());
+  EXPECT_EQ(out.num_edges(), g.num_edges());  // +1 -1
+  EXPECT_TRUE(out.HasEdge(5, 6));
+  EXPECT_FALSE(out.HasEdge(2, 3));
+  EXPECT_TRUE(out.HasEdge(0, 1));  // untouched edges survive
+  EXPECT_EQ(out.weight(9), 50.0);
+  EXPECT_EQ(out.weight(0), g.weight(0));
+  // Neighbour lists stay sorted (CSR invariant; Graph would TICL_CHECK).
+  EXPECT_EQ(ToVector(out.neighbors(6)), Members({5, 7, 8, 9}));
+  // The parent is untouched.
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(5, 6));
+  // Topology changed, so the fingerprint must differ.
+  EXPECT_FALSE(out.fingerprint() == g.fingerprint());
+}
+
+TEST(ApplyDeltaTest, PureWeightUpdateKeepsFingerprint) {
+  const Graph g = TwoTrianglesAndK4();
+  GraphDelta delta;
+  delta.weight_updates = {WeightUpdate{0, 99.0}};
+  const Graph out = ApplyDeltaToGraph(g, delta);
+  // Fingerprints are topological by design: a reweight is index-preserving.
+  EXPECT_TRUE(out.fingerprint() == g.fingerprint());
+  EXPECT_EQ(out.weight(0), 99.0);
+}
+
+TEST(ApplyDeltaTest, RoundTripInsertThenDelete) {
+  const Graph g = TwoTrianglesAndK4();
+  GraphDelta forward;
+  forward.insert_edges = {Edge{0, 9}};
+  const Graph mid = ApplyDeltaToGraph(g, forward);
+  GraphDelta backward;
+  backward.delete_edges = {Edge{0, 9}};
+  const Graph back = ApplyDeltaToGraph(mid, backward);
+  EXPECT_TRUE(back.fingerprint() == g.fingerprint());
+}
+
+TEST(LoadDeltaTextTest, ParsesAllDirectives) {
+  const std::string path = ::testing::TempDir() + "/delta.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("# comment\n\n+ 5 6\n- 3 2\n  w 4 2.75\n", f);
+  std::fclose(f);
+
+  GraphDelta delta;
+  std::string error;
+  ASSERT_TRUE(LoadDeltaText(path, &delta, &error)) << error;
+  ASSERT_EQ(delta.insert_edges.size(), 1u);
+  EXPECT_EQ(delta.insert_edges[0], (Edge{5, 6}));
+  ASSERT_EQ(delta.delete_edges.size(), 1u);
+  EXPECT_EQ(delta.delete_edges[0], (Edge{2, 3}));  // normalized u < v
+  ASSERT_EQ(delta.weight_updates.size(), 1u);
+  EXPECT_EQ(delta.weight_updates[0], (WeightUpdate{4, 2.75}));
+}
+
+TEST(LoadDeltaTextTest, LongCommentLinesAreNotSplit) {
+  // Regression: a fixed fgets buffer used to split lines over 255 chars
+  // and parse the tail as a (bogus) directive.
+  const std::string path = ::testing::TempDir() + "/long_delta.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("# ", f);
+  for (int i = 0; i < 200; ++i) std::fputs("- 1 2 ", f);  // 1.2KB comment
+  std::fputs("\n+ 5 6\n", f);
+  std::fclose(f);
+
+  GraphDelta delta;
+  std::string error;
+  ASSERT_TRUE(LoadDeltaText(path, &delta, &error)) << error;
+  EXPECT_TRUE(delta.delete_edges.empty());
+  ASSERT_EQ(delta.insert_edges.size(), 1u);
+  EXPECT_EQ(delta.insert_edges[0], (Edge{5, 6}));
+}
+
+TEST(LoadDeltaTextTest, RejectsMalformedLines) {
+  const std::string path = ::testing::TempDir() + "/bad_delta.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("+ 5\n", f);  // missing second endpoint
+  std::fclose(f);
+
+  GraphDelta delta;
+  std::string error;
+  EXPECT_FALSE(LoadDeltaText(path, &delta, &error));
+  EXPECT_NE(error.find(":1"), std::string::npos) << error;
+
+  f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("x 1 2\n", f);  // unknown directive
+  std::fclose(f);
+  EXPECT_FALSE(LoadDeltaText(path, &delta, &error));
+}
+
+TEST(RandomDeltaTest, ProducesValidDeltasOfRequestedSize) {
+  ChungLuOptions cl;
+  cl.num_vertices = 300;
+  cl.target_average_degree = 6.0;
+  cl.gamma = 2.5;
+  cl.seed = 7;
+  Graph g = GenerateChungLu(cl);
+  std::vector<Weight> weights(g.num_vertices(), 1.0);
+  g.SetWeights(std::move(weights));
+
+  const GraphDelta delta = RandomDelta(g, /*seed=*/11, /*inserts=*/20,
+                                       /*deletes=*/15, /*weight_updates=*/5);
+  EXPECT_EQ(delta.insert_edges.size(), 20u);
+  EXPECT_EQ(delta.delete_edges.size(), 15u);
+  EXPECT_EQ(delta.weight_updates.size(), 5u);
+  EXPECT_EQ(ValidateDelta(g, delta), "");
+  // Deterministic: same seed, same delta.
+  const GraphDelta again = RandomDelta(g, 11, 20, 15, 5);
+  EXPECT_EQ(again.insert_edges, delta.insert_edges);
+  EXPECT_EQ(again.delete_edges, delta.delete_edges);
+}
+
+}  // namespace
+}  // namespace ticl

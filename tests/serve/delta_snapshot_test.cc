@@ -1,0 +1,163 @@
+// Delta snapshot persistence: round-trips, fingerprint parentage, chain
+// replay, and cross-kind rejection (a delta file is not a full snapshot
+// and vice versa).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_delta.h"
+#include "serve/snapshot.h"
+#include "testing/builders.h"
+
+namespace ticl {
+namespace {
+
+using testing::TwoTrianglesAndK4;
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+GraphDelta SampleDelta() {
+  GraphDelta delta;
+  delta.insert_edges = {Edge{5, 6}, Edge{0, 9}};
+  delta.delete_edges = {Edge{2, 3}};
+  delta.weight_updates = {WeightUpdate{4, 12.5}};
+  return delta;
+}
+
+TEST(DeltaSnapshotTest, SaveLoadRoundTrip) {
+  const Graph g = TwoTrianglesAndK4();
+  const GraphDelta delta = SampleDelta();
+  const std::string path = TempPath("delta_roundtrip.snap");
+  std::string error;
+  ASSERT_TRUE(SaveDeltaSnapshot(path, delta, g.fingerprint(), &error))
+      << error;
+
+  GraphDelta loaded;
+  GraphFingerprint parent;
+  ASSERT_TRUE(LoadDeltaSnapshot(path, &loaded, &parent, &error)) << error;
+  EXPECT_TRUE(parent == g.fingerprint());
+  EXPECT_EQ(loaded.insert_edges, delta.insert_edges);
+  EXPECT_EQ(loaded.delete_edges, delta.delete_edges);
+  EXPECT_EQ(loaded.weight_updates, delta.weight_updates);
+}
+
+TEST(DeltaSnapshotTest, EmptyDeltaRoundTrips) {
+  const Graph g = TwoTrianglesAndK4();
+  const std::string path = TempPath("delta_empty.snap");
+  std::string error;
+  ASSERT_TRUE(SaveDeltaSnapshot(path, {}, g.fingerprint(), &error)) << error;
+  GraphDelta loaded;
+  GraphFingerprint parent;
+  ASSERT_TRUE(LoadDeltaSnapshot(path, &loaded, &parent, &error)) << error;
+  EXPECT_TRUE(loaded.empty());
+  EXPECT_TRUE(parent == g.fingerprint());
+}
+
+TEST(DeltaSnapshotTest, FullLoaderRejectsDeltaFileWithPointedError) {
+  const Graph g = TwoTrianglesAndK4();
+  const std::string path = TempPath("delta_not_full.snap");
+  std::string error;
+  ASSERT_TRUE(SaveDeltaSnapshot(path, SampleDelta(), g.fingerprint(),
+                                &error))
+      << error;
+  Graph out;
+  EXPECT_FALSE(LoadSnapshot(path, &out, &error));
+  EXPECT_NE(error.find("delta snapshot"), std::string::npos) << error;
+}
+
+TEST(DeltaSnapshotTest, DeltaLoaderRejectsFullFileWithPointedError) {
+  const Graph g = TwoTrianglesAndK4();
+  const std::string path = TempPath("full_not_delta.snap");
+  std::string error;
+  ASSERT_TRUE(SaveSnapshot(path, g, &error)) << error;
+  GraphDelta delta;
+  GraphFingerprint parent;
+  EXPECT_FALSE(LoadDeltaSnapshot(path, &delta, &parent, &error));
+  EXPECT_NE(error.find("full snapshot"), std::string::npos) << error;
+}
+
+TEST(DeltaSnapshotTest, CorruptedDeltaIsRejected) {
+  const Graph g = TwoTrianglesAndK4();
+  const std::string path = TempPath("delta_corrupt.snap");
+  std::string error;
+  ASSERT_TRUE(SaveDeltaSnapshot(path, SampleDelta(), g.fingerprint(),
+                                &error))
+      << error;
+  // Flip one payload byte; the container checksum must catch it.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 70, SEEK_SET), 0);
+  const int c = std::fgetc(f);
+  ASSERT_EQ(std::fseek(f, 70, SEEK_SET), 0);
+  std::fputc(c ^ 0xff, f);
+  std::fclose(f);
+
+  GraphDelta delta;
+  GraphFingerprint parent;
+  EXPECT_FALSE(LoadDeltaSnapshot(path, &delta, &parent, &error));
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+}
+
+TEST(SnapshotChainTest, ReplaysInOrder) {
+  const Graph base = TwoTrianglesAndK4();
+  const std::string base_path = TempPath("chain_base.snap");
+  std::string error;
+  ASSERT_TRUE(SaveSnapshot(base_path, base, &error)) << error;
+
+  // d1: bridge the components; d2 (child of d1's result): cut a triangle.
+  GraphDelta d1;
+  d1.insert_edges = {Edge{5, 6}};
+  const Graph after_d1 = ApplyDeltaToGraph(base, d1);
+  GraphDelta d2;
+  d2.delete_edges = {Edge{0, 1}};
+  const Graph after_d2 = ApplyDeltaToGraph(after_d1, d2);
+
+  const std::string d1_path = TempPath("chain_d1.snap");
+  const std::string d2_path = TempPath("chain_d2.snap");
+  ASSERT_TRUE(SaveDeltaSnapshot(d1_path, d1, base.fingerprint(), &error))
+      << error;
+  ASSERT_TRUE(
+      SaveDeltaSnapshot(d2_path, d2, after_d1.fingerprint(), &error))
+      << error;
+
+  Graph out;
+  ASSERT_TRUE(LoadSnapshotChain(base_path, {d1_path, d2_path}, &out, &error))
+      << error;
+  EXPECT_TRUE(out.fingerprint() == after_d2.fingerprint());
+  EXPECT_TRUE(out.HasEdge(5, 6));
+  EXPECT_FALSE(out.HasEdge(0, 1));
+
+  // Wrong order: d2's parent is d1's result, not the base.
+  EXPECT_FALSE(
+      LoadSnapshotChain(base_path, {d2_path, d1_path}, &out, &error));
+  EXPECT_NE(error.find("fingerprint"), std::string::npos) << error;
+}
+
+TEST(SnapshotChainTest, ForeignDeltaIsRejected) {
+  const Graph base = TwoTrianglesAndK4();
+  const std::string base_path = TempPath("chain_base2.snap");
+  std::string error;
+  ASSERT_TRUE(SaveSnapshot(base_path, base, &error)) << error;
+
+  // A delta recorded against a different parent (fingerprint of a
+  // different topology).
+  GraphDelta d;
+  d.insert_edges = {Edge{5, 6}};
+  const Graph other = ApplyDeltaToGraph(base, d);
+  const std::string foreign_path = TempPath("chain_foreign.snap");
+  ASSERT_TRUE(
+      SaveDeltaSnapshot(foreign_path, d, other.fingerprint(), &error))
+      << error;
+
+  Graph out;
+  EXPECT_FALSE(LoadSnapshotChain(base_path, {foreign_path}, &out, &error));
+  EXPECT_NE(error.find("different parent"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace ticl

@@ -10,11 +10,14 @@
 #include "algo/weights.h"
 #include "core/verification.h"
 #include "gen/chung_lu.h"
+#include "graph/graph_delta.h"
+#include "serve/snapshot.h"
 #include "testing/builders.h"
 
 namespace ticl {
 namespace {
 
+using testing::ToVector;
 using testing::TwoTrianglesAndK4;
 
 Graph WeightedChungLu(std::uint64_t seed, VertexId n = 600) {
@@ -276,6 +279,246 @@ TEST(QueryEngineTest, ValidateFlagsBadQueries) {
   EXPECT_NE(engine.Validate(q), "");
   q.k = 2;
   EXPECT_EQ(engine.Validate(q), "");
+}
+
+TEST(QueryEngineTest, OpenSnapshotRejectsBadEpsilonCleanly) {
+  const std::string path = ::testing::TempDir() + "/bad_epsilon.snap";
+  std::string error;
+  ASSERT_TRUE(SaveSnapshot(path, TwoTrianglesAndK4(), &error)) << error;
+  EngineOptions options;
+  options.solve.epsilon = 1.0;  // would TICL_CHECK-abort inside Solve
+  const auto engine = QueryEngine::OpenSnapshot(
+      path, SnapshotLoadMode::kCopy, options, &error);
+  EXPECT_EQ(engine, nullptr);
+  EXPECT_NE(error.find("epsilon"), std::string::npos) << error;
+}
+
+TEST(QueryEngineTest, UncacheableResultsAreCounted) {
+  EngineOptions options;
+  options.cache_member_budget = 5;
+  options.num_threads = 1;
+  QueryEngine engine(TwoTrianglesAndK4(), options);
+
+  Query huge;  // charge 19 > budget: served uncached
+  huge.k = 2;
+  huge.r = 5;
+  engine.Run(huge);
+  engine.Run(huge);  // still a miss, still uncacheable
+  Query small;  // charge 4: cached fine
+  small.k = 2;
+  small.r = 1;
+  engine.Run(small);
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.cache_uncacheable, 2u);
+  EXPECT_EQ(stats.cache_evictions, 0u);
+}
+
+TEST(QueryEngineTest, ConcurrentMissesOnSameKeyCoalesceToOneSolve) {
+  // Hold the first (and only allowed) Solve open until the second
+  // submission has provably attached to the pending entry; then release.
+  std::promise<void> release;
+  std::shared_future<void> release_future = release.get_future().share();
+  EngineOptions options;
+  options.num_threads = 2;
+  options.solve_started_hook_for_test = [release_future] {
+    release_future.wait();
+  };
+  QueryEngine engine(TwoTrianglesAndK4(), options);
+
+  Query q;
+  q.k = 2;
+  q.r = 2;
+  auto first = engine.Submit(q);
+  auto second = engine.Submit(q);
+  // The second submission either coalesced onto the first's pending solve
+  // or (rare scheduling) became the owner while the first waits — either
+  // way exactly one solve may start; wait until both are accounted for.
+  while (true) {
+    const EngineStats stats = engine.stats();
+    if (stats.queries == 2 && stats.cache_coalesced == 1) break;
+    std::this_thread::yield();
+  }
+  release.set_value();
+
+  const EngineResponse a = first.get();
+  const EngineResponse b = second.get();
+  // One Solve ran; the coalesced waiter shares the very result object.
+  EXPECT_EQ(a.result.get(), b.result.get());
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_coalesced, 1u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses + stats.cache_coalesced,
+            stats.queries);
+}
+
+// -- ApplyDelta -------------------------------------------------------------
+
+TEST(QueryEngineDeltaTest, ApplyDeltaMatchesFreshEngineBitForBit) {
+  // The acceptance oracle: ~1% random churn, then every query answer and
+  // the whole CoreIndex must equal a from-scratch engine on the same
+  // edited graph.
+  Graph g = WeightedChungLu(41, 800);
+  const GraphDelta delta =
+      RandomDelta(g, /*seed=*/7, /*inserts=*/g.num_edges() / 100,
+                  /*deletes=*/g.num_edges() / 100, /*weight_updates=*/10);
+  const Graph edited = ApplyDeltaToGraph(g, delta);
+
+  EngineOptions options;
+  options.num_threads = 1;
+  QueryEngine engine(std::move(g), options);
+  std::string error;
+  ASSERT_TRUE(engine.ApplyDelta(delta, &error)) << error;
+
+  EXPECT_TRUE(engine.graph().fingerprint() == edited.fingerprint());
+  QueryEngine fresh(edited, options);
+  ASSERT_EQ(engine.core_index().degeneracy(),
+            fresh.core_index().degeneracy());
+  EXPECT_EQ(ToVector(engine.core_index().core_numbers()),
+            ToVector(fresh.core_index().core_numbers()));
+  for (VertexId k = 1; k <= fresh.core_index().degeneracy(); ++k) {
+    EXPECT_EQ(ToVector(engine.core_index().CoreMembers(k)),
+              ToVector(fresh.core_index().CoreMembers(k)))
+        << "level " << k;
+  }
+
+  const std::vector<Query> queries = MixedQueries();
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const EngineResponse maintained = engine.Run(queries[i]);
+    const EngineResponse rebuilt = fresh.Run(queries[i]);
+    ExpectIdentical(*maintained.result, *rebuilt.result, i);
+  }
+  EXPECT_EQ(engine.stats().deltas_applied, 1u);
+}
+
+TEST(QueryEngineDeltaTest, ApplyDeltaInvalidatesTheCache) {
+  QueryEngine engine(TwoTrianglesAndK4(), {});
+  Query q;
+  q.k = 2;
+  q.r = 1;
+  q.aggregation = AggregationSpec::Sum();
+  const EngineResponse before = engine.Run(q);
+  EXPECT_TRUE(engine.Run(q).cache_hit);
+
+  // Isolate vertex 9 (weight 100): the old top answer (K4, influence 106)
+  // is gone — the best sum 2-core is now {0..5} at 78.
+  GraphDelta delta;
+  delta.delete_edges = {Edge{6, 9}, Edge{7, 9}, Edge{8, 9}};
+  std::string error;
+  ASSERT_TRUE(engine.ApplyDelta(delta, &error)) << error;
+
+  const EngineResponse after = engine.Run(q);
+  EXPECT_FALSE(after.cache_hit);  // cache was dropped, this re-solved
+  EXPECT_NE(before.result->communities[0].influence,
+            after.result->communities[0].influence);
+  EXPECT_EQ(engine.stats().cache_charge,
+            after.result->communities[0].members.size());
+}
+
+TEST(QueryEngineDeltaTest, InvalidDeltaLeavesServingStateUntouched) {
+  QueryEngine engine(TwoTrianglesAndK4(), {});
+  const GraphFingerprint before = engine.graph().fingerprint();
+  GraphDelta bad;
+  bad.insert_edges = {Edge{0, 1}};  // already present
+  std::string error;
+  EXPECT_FALSE(engine.ApplyDelta(bad, &error));
+  EXPECT_NE(error, "");
+  EXPECT_TRUE(engine.graph().fingerprint() == before);
+  EXPECT_EQ(engine.stats().deltas_applied, 0u);
+}
+
+TEST(QueryEngineDeltaTest, MmapEngineBecomesHeapOwnedAfterDelta) {
+  Graph g = WeightedChungLu(53, 300);
+  const std::string path = ::testing::TempDir() + "/delta_mmap.snap";
+  std::string error;
+  const CoreIndex index(g);
+  SaveSnapshotOptions save;
+  save.core_index = &index;
+  ASSERT_TRUE(SaveSnapshot(path, g, save, &error)) << error;
+
+  auto engine = QueryEngine::OpenSnapshot(path, SnapshotLoadMode::kMmap, {},
+                                          &error);
+  ASSERT_NE(engine, nullptr) << error;
+  EXPECT_TRUE(engine->snapshot_mapped());
+  EXPECT_TRUE(engine->index_from_snapshot());
+
+  const GraphDelta delta = RandomDelta(g, 3, 5, 5, 0);
+  ASSERT_TRUE(engine->ApplyDelta(delta, &error)) << error;
+  EXPECT_FALSE(engine->snapshot_mapped());
+  EXPECT_FALSE(engine->index_from_snapshot());
+
+  // Still answers correctly against the edited graph.
+  const Graph edited = ApplyDeltaToGraph(g, delta);
+  Query q;
+  q.k = 2;
+  q.r = 3;
+  const EngineResponse response = engine->Run(q);
+  EXPECT_EQ(ValidateResult(edited, q, *response.result), "");
+}
+
+TEST(QueryEngineDeltaTest, ConcurrentQueriesDuringApplyDelta) {
+  // TSan target: queries race ApplyDelta swaps. Every answer must be
+  // valid for *some* serving state (the one the query pinned), and the
+  // engine must never crash or deadlock.
+  Graph g = WeightedChungLu(61, 400);
+  const Graph original = g;
+  EngineOptions options;
+  options.num_threads = 4;
+  QueryEngine engine(std::move(g), options);
+
+  // Precompute the delta chain and each stage's reference graph.
+  constexpr int kDeltas = 6;
+  std::vector<Graph> stages{original};
+  std::vector<GraphDelta> deltas;
+  for (int i = 0; i < kDeltas; ++i) {
+    const Graph& parent = stages.back();
+    deltas.push_back(RandomDelta(parent, 100 + i, 10, 10, 5));
+    stages.push_back(ApplyDeltaToGraph(parent, deltas.back()));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> bad_results{0};
+  std::vector<std::thread> query_threads;
+  for (int t = 0; t < 3; ++t) {
+    query_threads.emplace_back([&, t] {
+      const std::vector<Query> queries = MixedQueries();
+      std::size_t i = t;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const Query& q = queries[i++ % queries.size()];
+        const EngineResponse response = engine.Run(q);
+        // The answer must validate against at least one chain stage (we
+        // cannot know which state the query pinned).
+        bool ok = false;
+        for (const Graph& stage : stages) {
+          if (ValidateResult(stage, q, *response.result).empty()) {
+            ok = true;
+            break;
+          }
+        }
+        if (!ok) bad_results.fetch_add(1);
+      }
+    });
+  }
+
+  std::string error;
+  for (const GraphDelta& delta : deltas) {
+    ASSERT_TRUE(engine.ApplyDelta(delta, &error)) << error;
+  }
+  stop.store(true);
+  for (std::thread& thread : query_threads) thread.join();
+  EXPECT_EQ(bad_results.load(), 0);
+  EXPECT_EQ(engine.stats().deltas_applied,
+            static_cast<std::uint64_t>(kDeltas));
+
+  // After the dust settles the engine answers exactly like a fresh build
+  // of the final stage.
+  QueryEngine fresh(stages.back(), options);
+  const std::vector<Query> queries = MixedQueries();
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    ExpectIdentical(*engine.Run(queries[i]).result,
+                    *fresh.Run(queries[i]).result, i);
+  }
 }
 
 }  // namespace

@@ -381,6 +381,26 @@ TEST(SnapshotCompatTest, CoreIndexSectionRoundTripsThroughLoadSnapshot) {
   std::remove(path.c_str());
 }
 
+TEST(SnapshotCompatTest, MixedGraphAndDeltaSectionsAreRejected) {
+  // A file carrying both families would serve the base graph with the
+  // recorded edits silently dropped; both loaders must refuse it.
+  V2Builder b = TriangleV2();
+  // delta_meta (type 6): parent fingerprint + zero edit counts, 48 bytes.
+  b.AddArraySection<std::uint64_t>(6, {3, 6, 0x1234, 0, 0, 0});
+  const std::string path = TempPath("mixed_sections.snap");
+  b.Build().WriteTo(path);
+
+  Graph loaded;
+  std::string error;
+  EXPECT_FALSE(LoadSnapshot(path, &loaded, &error));
+  EXPECT_NE(error.find("both graph and delta"), std::string::npos) << error;
+  GraphDelta delta;
+  GraphFingerprint parent;
+  EXPECT_FALSE(LoadDeltaSnapshot(path, &delta, &parent, &error));
+  EXPECT_NE(error.find("both graph and delta"), std::string::npos) << error;
+  std::remove(path.c_str());
+}
+
 TEST(SnapshotCompatTest, UnknownOptionalSectionIsSkipped) {
   V2Builder b = TriangleV2();
   // A section type this reader has never heard of (a future delta table,

@@ -15,7 +15,7 @@ TEST(ThreadPoolTest, RunsEverySubmittedJob) {
   EXPECT_EQ(pool.num_threads(), 4u);
   std::atomic<int> counter{0};
   for (int i = 0; i < 200; ++i) {
-    pool.Submit([&counter] { ++counter; });
+    EXPECT_TRUE(pool.Submit([&counter] { ++counter; }));
   }
   pool.Wait();
   EXPECT_EQ(counter.load(), 200);
@@ -25,10 +25,10 @@ TEST(ThreadPoolTest, WaitCoversInFlightJobs) {
   ThreadPool pool(2);
   std::atomic<int> finished{0};
   for (int i = 0; i < 8; ++i) {
-    pool.Submit([&finished] {
+    EXPECT_TRUE(pool.Submit([&finished] {
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       ++finished;
-    });
+    }));
   }
   // Wait must block until jobs have *finished*, not merely been dequeued.
   pool.Wait();
@@ -45,7 +45,7 @@ TEST(ThreadPoolTest, DestructorDrainsPendingJobs) {
   {
     ThreadPool pool(1);
     for (int i = 0; i < 50; ++i) {
-      pool.Submit([&counter] { ++counter; });
+      EXPECT_TRUE(pool.Submit([&counter] { ++counter; }));
     }
   }
   EXPECT_EQ(counter.load(), 50);
@@ -55,9 +55,51 @@ TEST(ThreadPoolTest, ZeroThreadsClampsToAtLeastOne) {
   ThreadPool pool(0);
   EXPECT_GE(pool.num_threads(), 1u);
   std::atomic<int> counter{0};
-  pool.Submit([&counter] { ++counter; });
+  EXPECT_TRUE(pool.Submit([&counter] { ++counter; }));
   pool.Wait();
   EXPECT_EQ(counter.load(), 1);
+}
+
+// Regression: Submit after shutdown used to TICL_CHECK-abort the whole
+// process (a teardown race for callers holding the pool); it now reports
+// rejection and drops the job.
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejectedNotFatal) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  EXPECT_TRUE(pool.Submit([&counter] { ++counter; }));
+  pool.Shutdown();
+  EXPECT_EQ(counter.load(), 1);  // queued work drained before the join
+  EXPECT_FALSE(pool.Submit([&counter] { ++counter; }));
+  EXPECT_EQ(counter.load(), 1);  // rejected job never ran
+}
+
+TEST(ThreadPoolTest, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  pool.Shutdown();  // second call (and the destructor after it) must not
+                    // double-join
+  EXPECT_FALSE(pool.Submit([] {}));
+}
+
+TEST(ThreadPoolTest, SubmitRacingShutdownEitherRunsOrRejects) {
+  // Hammer the teardown race the serve layer hits: submitters racing
+  // Shutdown. Every accepted job must run; rejected ones must not.
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> accepted{0};
+    std::atomic<int> executed{0};
+    ThreadPool pool(2);
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 3; ++t) {
+      submitters.emplace_back([&pool, &accepted, &executed] {
+        for (int i = 0; i < 50; ++i) {
+          if (pool.Submit([&executed] { ++executed; })) ++accepted;
+        }
+      });
+    }
+    pool.Shutdown();
+    for (std::thread& s : submitters) s.join();
+    EXPECT_EQ(executed.load(), accepted.load());
+  }
 }
 
 TEST(ThreadPoolTest, SubmitFromWorkerThreads) {
@@ -67,7 +109,7 @@ TEST(ThreadPoolTest, SubmitFromWorkerThreads) {
   for (int t = 0; t < 4; ++t) {
     submitters.emplace_back([&pool, &counter] {
       for (int i = 0; i < 25; ++i) {
-        pool.Submit([&counter] { ++counter; });
+        EXPECT_TRUE(pool.Submit([&counter] { ++counter; }));
       }
     });
   }

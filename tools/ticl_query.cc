@@ -14,6 +14,12 @@
 //   ticl_query --generate standin:dblp --save-snapshot dblp.snap
 //   ticl_query --snapshot dblp.snap --k 4 --r 5 --f sum
 //
+// Dynamic-graph workflow (delta snapshots; the graph evolves without full
+// rewrites):
+//   ticl_query --snapshot dblp.snap --apply-delta edits.txt \
+//       --save-snapshot dblp.d1.snap      # child records (parent fp, delta)
+//   ticl_query --snapshot dblp.snap --delta dblp.d1.snap --k 4 --r 5 --f sum
+//
 // Exit status: 0 on success, 1 on usage errors, 2 on IO errors,
 // 3 if result validation fails (library bug — please report).
 
@@ -30,6 +36,7 @@
 #include "gen/chung_lu.h"
 #include "gen/dataset_suite.h"
 #include "graph/edge_list_io.h"
+#include "graph/graph_delta.h"
 #include "serve/core_index.h"
 #include "serve/mapped_snapshot.h"
 #include "serve/snapshot.h"
@@ -42,6 +49,8 @@ struct CliOptions {
   std::string weight_scheme = "pagerank";
   std::string generate;  // "standin:<name>[@scale]" or "chung-lu:n,deg,gamma"
   std::string snapshot_path;       // load graph + weights from a snapshot
+  std::vector<std::string> delta_paths;  // delta chain replayed onto it
+  std::string apply_delta_path;    // text edit list applied before querying
   bool mmap = false;               // zero-copy view instead of a copy-load
   std::string save_snapshot_path;  // write the prepared graph and exit*
   bool snapshot_index = false;     // embed the CoreIndex when saving
@@ -75,6 +84,15 @@ void PrintUsage() {
       "livejournal|friendster>[@scale]\n"
       "                        or chung-lu:<n>,<avg_degree>,<gamma>\n"
       "  --snapshot PATH       load graph + weights from a binary snapshot\n"
+      "  --delta PATH          replay a delta snapshot onto --snapshot (may\n"
+      "                        repeat; applied in order, parent fingerprints\n"
+      "                        are verified)\n"
+      "  --apply-delta PATH    apply a text edit list ('+ u v' insert,\n"
+      "                        '- u v' delete, 'w v X' reweight) to the\n"
+      "                        loaded graph before querying; with\n"
+      "                        --save-snapshot the child is written as a\n"
+      "                        delta snapshot recording (parent fingerprint,\n"
+      "                        delta) instead of a full rewrite\n"
       "  --mmap                with --snapshot: zero-copy mmap view (needs a\n"
       "                        v2 file; uses its core index when embedded)\n"
       "  --save-snapshot PATH  write the prepared graph (weights included)\n"
@@ -138,6 +156,11 @@ bool ParseArgs(int argc, char** argv, CliOptions* options,
       if (!take(&options->generate)) return false;
     } else if (arg == "--snapshot") {
       if (!take(&options->snapshot_path)) return false;
+    } else if (arg == "--delta") {
+      if (!take(&value)) return false;
+      options->delta_paths.push_back(value);
+    } else if (arg == "--apply-delta") {
+      if (!take(&options->apply_delta_path)) return false;
     } else if (arg == "--mmap") {
       options->mmap = true;
     } else if (arg == "--save-snapshot") {
@@ -251,7 +274,13 @@ bool BuildGraph(const CliOptions& options, ticl::Graph* g,
       *error = "--snapshot excludes --graph and --generate";
       return false;
     }
-    return ticl::LoadSnapshot(options.snapshot_path, g, error);
+    return ticl::LoadSnapshotChain(options.snapshot_path, options.delta_paths,
+                                   g, error);
+  }
+  if (!options.delta_paths.empty()) {
+    *error = "--delta requires --snapshot (deltas replay onto a base "
+             "snapshot)";
+    return false;
   }
   if (!options.generate.empty()) {
     const std::string& spec = options.generate;
@@ -379,6 +408,12 @@ int main(int argc, char** argv) {
   }
   solve_options.epsilon = options.epsilon;
   solve_options.local.num_threads = options.threads;
+  const std::string options_problem =
+      ticl::ValidateSolveOptions(solve_options);
+  if (!options_problem.empty()) {
+    std::fprintf(stderr, "error: %s\n", options_problem.c_str());
+    return 1;
+  }
 
   ticl::Graph graph;
   std::unique_ptr<ticl::MappedSnapshot> mapped;
@@ -397,6 +432,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "error: --mmap serves the snapshot read-only; --weights "
                    "cannot be applied\n");
+      return 1;
+    }
+    if (!options.delta_paths.empty() || !options.apply_delta_path.empty()) {
+      std::fprintf(stderr,
+                   "error: --mmap serves the snapshot read-only; drop --mmap "
+                   "to apply deltas (the result is heap-owned anyway)\n");
       return 1;
     }
     mapped = ticl::MappedSnapshot::Open(options.snapshot_path, &error);
@@ -420,30 +461,76 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (!options.save_snapshot_path.empty()) {
-    ticl::SaveSnapshotOptions save_options;
-    save_options.version = options.snapshot_format;
-    std::unique_ptr<ticl::CoreIndex> built_index;
-    if (options.snapshot_index) {
-      if (mapped != nullptr && mapped->has_core_index()) {
-        save_options.core_index = &mapped->core_index();
-      } else {
-        built_index = std::make_unique<ticl::CoreIndex>(*query_graph);
-        save_options.core_index = built_index.get();
-      }
-    }
-    if (!ticl::SaveSnapshot(options.save_snapshot_path, *query_graph,
-                            save_options, &error)) {
+  // Text delta: validated against (and recorded as a child of) the graph
+  // as loaded, then applied so queries see the post-edit graph.
+  ticl::GraphDelta text_delta;
+  ticl::GraphFingerprint delta_parent;
+  const bool have_text_delta = !options.apply_delta_path.empty();
+  if (have_text_delta) {
+    if (!ticl::LoadDeltaText(options.apply_delta_path, &text_delta, &error)) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
       return 2;
     }
-    std::fprintf(stderr, "saved snapshot %s (v%u, n=%u m=%llu%s%s)\n",
-                 options.save_snapshot_path.c_str(), options.snapshot_format,
-                 query_graph->num_vertices(),
-                 static_cast<unsigned long long>(query_graph->num_edges()),
-                 query_graph->has_weights() ? ", weighted" : "",
-                 options.snapshot_index ? ", core index embedded" : "");
-    if (!options.query_requested) return 0;
+    const std::string problem = ticl::ValidateDelta(graph, text_delta);
+    if (!problem.empty()) {
+      std::fprintf(stderr, "error: delta %s does not apply: %s\n",
+                   options.apply_delta_path.c_str(), problem.c_str());
+      return 1;
+    }
+    delta_parent = graph.fingerprint();
+    graph = ticl::ApplyValidatedDelta(graph, text_delta);
+  }
+
+  if (!options.save_snapshot_path.empty()) {
+    if (have_text_delta) {
+      // Child release: record (parent fingerprint, delta), kilobytes
+      // instead of a full CSR rewrite.
+      if (options.snapshot_index || options.snapshot_format != 2) {
+        std::fprintf(stderr,
+                     "error: a delta snapshot carries only edits; "
+                     "--snapshot-index / --snapshot-format do not apply\n");
+        return 1;
+      }
+      if (!ticl::SaveDeltaSnapshot(options.save_snapshot_path, text_delta,
+                                   delta_parent, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+      }
+      std::fprintf(stderr,
+                   "saved delta snapshot %s (+%zu -%zu ~%zu edits, parent "
+                   "n=%llu)\n",
+                   options.save_snapshot_path.c_str(),
+                   text_delta.insert_edges.size(),
+                   text_delta.delete_edges.size(),
+                   text_delta.weight_updates.size(),
+                   static_cast<unsigned long long>(
+                       delta_parent.num_vertices));
+      if (!options.query_requested) return 0;
+    } else {
+      ticl::SaveSnapshotOptions save_options;
+      save_options.version = options.snapshot_format;
+      std::unique_ptr<ticl::CoreIndex> built_index;
+      if (options.snapshot_index) {
+        if (mapped != nullptr && mapped->has_core_index()) {
+          save_options.core_index = &mapped->core_index();
+        } else {
+          built_index = std::make_unique<ticl::CoreIndex>(*query_graph);
+          save_options.core_index = built_index.get();
+        }
+      }
+      if (!ticl::SaveSnapshot(options.save_snapshot_path, *query_graph,
+                              save_options, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 2;
+      }
+      std::fprintf(stderr, "saved snapshot %s (v%u, n=%u m=%llu%s%s)\n",
+                   options.save_snapshot_path.c_str(),
+                   options.snapshot_format, query_graph->num_vertices(),
+                   static_cast<unsigned long long>(query_graph->num_edges()),
+                   query_graph->has_weights() ? ", weighted" : "",
+                   options.snapshot_index ? ", core index embedded" : "");
+      if (!options.query_requested) return 0;
+    }
   }
 
   const std::string query_problem =

@@ -54,6 +54,7 @@ namespace {
 
 struct CliOptions {
   std::string snapshot_path;
+  std::vector<std::string> delta_paths;  // applied via engine ApplyDelta
   bool mmap = false;
   std::string queries_path = "-";  // "-" = stdin
   unsigned threads = 0;            // 0 = hardware concurrency
@@ -70,6 +71,10 @@ void PrintUsage() {
       "usage: ticl_serve --snapshot PATH [options]\n"
       "\n"
       "  --snapshot PATH   snapshot written by ticl_query --save-snapshot\n"
+      "  --delta PATH      delta snapshot (ticl_query --apply-delta\n"
+      "                    --save-snapshot) applied on top; may repeat, in\n"
+      "                    chain order. The core index is maintained\n"
+      "                    incrementally, not rebuilt\n"
       "  --mmap            serve the snapshot zero-copy via mmap (needs a\n"
       "                    v2 file; uses its embedded core index if any)\n"
       "  --queries PATH    JSONL query file, or '-' for stdin (default -)\n"
@@ -106,6 +111,9 @@ bool ParseArgs(int argc, char** argv, CliOptions* options,
       options->help = true;
     } else if (arg == "--snapshot") {
       if (!take(&options->snapshot_path)) return false;
+    } else if (arg == "--delta") {
+      if (!take(&value)) return false;
+      options->delta_paths.push_back(value);
     } else if (arg == "--mmap") {
       options->mmap = true;
     } else if (arg == "--queries") {
@@ -354,6 +362,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: unknown solver: %s\n", options.solver.c_str());
     return 1;
   }
+  const std::string options_problem =
+      ticl::ValidateSolveOptions(engine_options.solve);
+  if (!options_problem.empty()) {
+    std::fprintf(stderr, "error: %s\n", options_problem.c_str());
+    return 1;
+  }
 
   ticl::WallTimer start_timer;
   const auto engine = ticl::QueryEngine::OpenSnapshot(
@@ -364,6 +378,30 @@ int main(int argc, char** argv) {
   if (engine == nullptr) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 2;
+  }
+  // Delta chain: each file names its parent by fingerprint; verify before
+  // handing it to the engine so a mis-ordered chain fails with a chain
+  // error, not a structural one. ApplyDelta maintains the core index
+  // incrementally instead of re-running the decomposition.
+  for (const std::string& delta_path : options.delta_paths) {
+    ticl::GraphDelta delta;
+    ticl::GraphFingerprint parent;
+    if (!ticl::LoadDeltaSnapshot(delta_path, &delta, &parent, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 2;
+    }
+    if (!(parent == engine->graph().fingerprint())) {
+      std::fprintf(stderr,
+                   "error: delta %s was recorded against a different parent "
+                   "(wrong base snapshot or wrong --delta order)\n",
+                   delta_path.c_str());
+      return 2;
+    }
+    if (!engine->ApplyDelta(delta, &error)) {
+      std::fprintf(stderr, "error: %s: %s\n", delta_path.c_str(),
+                   error.c_str());
+      return 2;
+    }
   }
   const double start_seconds = start_timer.ElapsedSeconds();
   std::fprintf(stderr,
@@ -459,11 +497,15 @@ int main(int argc, char** argv) {
   const ticl::EngineStats stats = engine->stats();
   std::fprintf(stderr,
                "%zu queries in %.3fs (%.1f queries/s), cache %llu hits / "
-               "%llu misses\n",
+               "%llu misses / %llu coalesced, %llu uncacheable (over "
+               "budget), %llu deltas applied\n",
                answered, batch_seconds,
                batch_seconds > 0.0 ? answered / batch_seconds : 0.0,
                static_cast<unsigned long long>(stats.cache_hits),
-               static_cast<unsigned long long>(stats.cache_misses));
+               static_cast<unsigned long long>(stats.cache_misses),
+               static_cast<unsigned long long>(stats.cache_coalesced),
+               static_cast<unsigned long long>(stats.cache_uncacheable),
+               static_cast<unsigned long long>(stats.deltas_applied));
 
   if (had_validation_failure) return 3;
   if (had_bad_input) return 4;
