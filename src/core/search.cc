@@ -30,6 +30,24 @@ std::string SolverKindName(SolverKind kind) {
   return "";
 }
 
+bool ParseSolverKind(const std::string& name, SolverKind* kind) {
+  // Driven by SolverKindName so a new SolverKind only needs the switch
+  // above updated.
+  static constexpr SolverKind kAll[] = {
+      SolverKind::kAuto,       SolverKind::kNaive,
+      SolverKind::kImproved,   SolverKind::kApprox,
+      SolverKind::kExact,      SolverKind::kLocalGreedy,
+      SolverKind::kLocalRandom, SolverKind::kMinPeel,
+      SolverKind::kMaxComponents};
+  for (const SolverKind candidate : kAll) {
+    if (name == SolverKindName(candidate)) {
+      *kind = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::string ValidateSolveOptions(const SolveOptions& options) {
   // `!(in range)` instead of `out of range` so NaN fails too.
   if (!(options.epsilon >= 0.0 && options.epsilon < 1.0)) {

@@ -38,6 +38,11 @@ enum class SolverKind {
 
 std::string SolverKindName(SolverKind kind);
 
+/// Inverse of SolverKindName: resolves a CLI-style solver name
+/// ("auto", "local-greedy", ...). Returns false for unknown names. One
+/// shared table so the three tools cannot drift.
+bool ParseSolverKind(const std::string& name, SolverKind* kind);
+
 struct SolveOptions {
   SolverKind solver = SolverKind::kAuto;
   /// Approximation ratio for kApprox (paper default 0.1).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <exception>
 #include <utility>
 
 #include "algo/core_maintenance.h"
@@ -182,9 +183,11 @@ EngineResponse QueryEngine::Run(const Query& query) {
     return {pending->future.get(), true};
   }
 
-  if (solve_started_hook_for_test_) solve_started_hook_for_test_();
   std::shared_ptr<SearchResult> result;
   try {
+    // The test hook lives inside the try so a throwing hook exercises
+    // the same retirement path a throwing solver would.
+    if (solve_started_hook_for_test_) solve_started_hook_for_test_();
     result = std::make_shared<SearchResult>(
         Solve(*state->graph, query, state->solve));
   } catch (...) {
@@ -222,6 +225,27 @@ std::future<EngineResponse> QueryEngine::Submit(const Query& query) {
     (*task)();
   }
   return future;
+}
+
+void QueryEngine::Submit(const Query& query,
+                         std::function<void(EngineResponse)> done) {
+  auto task = [this, query, done = std::move(done)] {
+    // An escaped exception would std::terminate the pool worker — and
+    // with it the whole serving process — while the caller's in-flight
+    // accounting waited forever. Convert to an error response instead;
+    // Run() has already retired the pending entry and failed coalesced
+    // waiters by the time anything reaches us.
+    EngineResponse response;
+    try {
+      response = Run(query);
+    } catch (const std::exception& e) {
+      response.error = e.what();
+    } catch (...) {
+      response.error = "solver failed with a non-standard exception";
+    }
+    done(std::move(response));
+  };
+  if (!pool_.Submit(task)) task();
 }
 
 bool QueryEngine::ApplyDelta(const GraphDelta& delta, std::string* error) {
@@ -266,6 +290,26 @@ bool QueryEngine::ApplyDelta(const GraphDelta& delta, std::string* error) {
     cache_charge_ = 0;
     ++stats_.deltas_applied;
   }
+  return true;
+}
+
+bool QueryEngine::ApplyDeltaSnapshotFile(const std::string& path,
+                                         std::string* error,
+                                         GraphDelta* applied) {
+  GraphDelta delta;
+  GraphFingerprint parent;
+  if (!LoadDeltaSnapshot(path, &delta, &parent, error)) return false;
+  if (!(parent == graph().fingerprint())) {
+    *error = "delta " + path +
+             " was recorded against a different parent graph (wrong base "
+             "snapshot or wrong chain order)";
+    return false;
+  }
+  if (!ApplyDelta(delta, error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  if (applied != nullptr) *applied = std::move(delta);
   return true;
 }
 

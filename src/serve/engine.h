@@ -105,9 +105,13 @@ struct EngineStats {
 /// One answered query. `result` is shared with the cache — never mutated
 /// after construction. `cache_hit` is true when no Solve ran for this
 /// call (a resident entry or a coalesced in-flight miss served it).
+/// `error` is only ever non-empty on the callback Submit path: it
+/// carries the message of an exception Run() threw (result is null
+/// then). The future/Run paths propagate exceptions instead.
 struct EngineResponse {
   std::shared_ptr<const SearchResult> result;
   bool cache_hit = false;
+  std::string error;
 };
 
 /// How OpenSnapshot materializes the file.
@@ -167,6 +171,16 @@ class QueryEngine {
   /// instead of crashing; the returned future is valid either way.
   std::future<EngineResponse> Submit(const Query& query);
 
+  /// Callback form for event-driven front ends (futures cannot be polled
+  /// by an epoll loop): queues the query and invokes `done(response)` on
+  /// the worker thread that answered it — or inline on the calling
+  /// thread when the pool is already shutting down. `done` is invoked
+  /// exactly once even when the solve throws (the exception is caught
+  /// and reported via EngineResponse::error with a null result), so a
+  /// caller counting in-flight work never leaks a slot. `done` itself
+  /// must not throw and should stay cheap; it runs on a pool worker.
+  void Submit(const Query& query, std::function<void(EngineResponse)> done);
+
   /// Applies a delta to the serving graph: validates it against the
   /// current graph, rebuilds the CSR backend, maintains the CoreIndex
   /// incrementally (order-based, O(affected subgraph)), invalidates the
@@ -177,6 +191,15 @@ class QueryEngine {
   /// serving state is then untouched). Concurrent ApplyDelta calls are
   /// serialized.
   bool ApplyDelta(const GraphDelta& delta, std::string* error);
+
+  /// Loads a delta snapshot file, verifies its recorded parent
+  /// fingerprint against the current serving graph (a mis-ordered or
+  /// foreign delta fails here, before any mutation), then ApplyDelta()s
+  /// it. One shared path for start-up --delta chains and the network
+  /// server's live apply_delta admin command. On success *applied (when
+  /// non-null) receives the delta for reporting.
+  bool ApplyDeltaSnapshotFile(const std::string& path, std::string* error,
+                              GraphDelta* applied = nullptr);
 
   /// Cumulative counters.
   EngineStats stats() const;

@@ -247,22 +247,7 @@ bool ResolveAggregation(const CliOptions& options, ticl::AggregationSpec* spec,
 
 bool ResolveSolver(const std::string& name, ticl::SolverKind* kind,
                    std::string* error) {
-  static const std::pair<const char*, ticl::SolverKind> kTable[] = {
-      {"auto", ticl::SolverKind::kAuto},
-      {"naive", ticl::SolverKind::kNaive},
-      {"improved", ticl::SolverKind::kImproved},
-      {"approx", ticl::SolverKind::kApprox},
-      {"exact", ticl::SolverKind::kExact},
-      {"local-greedy", ticl::SolverKind::kLocalGreedy},
-      {"local-random", ticl::SolverKind::kLocalRandom},
-      {"min-peel", ticl::SolverKind::kMinPeel},
-      {"max-components", ticl::SolverKind::kMaxComponents}};
-  for (const auto& [solver_name, solver_kind] : kTable) {
-    if (name == solver_name) {
-      *kind = solver_kind;
-      return true;
-    }
-  }
+  if (ticl::ParseSolverKind(name, kind)) return true;
   *error = "unknown solver: " + name;
   return false;
 }

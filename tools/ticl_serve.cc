@@ -16,7 +16,7 @@
 //    "elapsed_seconds": 0.0123,
 //    "communities": [{"influence": 42.0, "members": [1, 2, 3]}]}
 // or, for a malformed/invalid line:
-//   {"id": "q1", "error": "..."}
+//   {"id": "q1", "error": "...", "kind": "parse"}
 //
 // Examples:
 //   ticl_query --generate standin:dblp --save-snapshot dblp.snap \
@@ -34,7 +34,6 @@
 // 4 if any query line was malformed or invalid (remaining lines are
 // still answered).
 
-#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,6 +46,7 @@
 #include "core/search.h"
 #include "core/verification.h"
 #include "serve/engine.h"
+#include "serve/protocol.h"
 #include "serve/snapshot.h"
 #include "util/timing.h"
 
@@ -146,187 +146,9 @@ bool ParseArgs(int argc, char** argv, CliOptions* options,
   return true;
 }
 
-bool ResolveSolver(const std::string& name, ticl::SolverKind* kind) {
-  static const std::pair<const char*, ticl::SolverKind> kTable[] = {
-      {"auto", ticl::SolverKind::kAuto},
-      {"naive", ticl::SolverKind::kNaive},
-      {"improved", ticl::SolverKind::kImproved},
-      {"approx", ticl::SolverKind::kApprox},
-      {"exact", ticl::SolverKind::kExact},
-      {"local-greedy", ticl::SolverKind::kLocalGreedy},
-      {"local-random", ticl::SolverKind::kLocalRandom},
-      {"min-peel", ticl::SolverKind::kMinPeel},
-      {"max-components", ticl::SolverKind::kMaxComponents}};
-  for (const auto& [solver_name, solver_kind] : kTable) {
-    if (name == solver_name) {
-      *kind = solver_kind;
-      return true;
-    }
-  }
-  return false;
-}
-
-// -- Flat-object JSON scanning ---------------------------------------------
-// The query lines are flat objects with scalar values, so a full JSON
-// parser would be dead weight; this extracts the raw token following
-// "key": (string tokens keep their quotes).
-
-bool JsonRawField(const std::string& line, const std::string& key,
-                  std::string* out) {
-  const std::string needle = "\"" + key + "\"";
-  std::size_t pos = 0;
-  while ((pos = line.find(needle, pos)) != std::string::npos) {
-    std::size_t p = pos + needle.size();
-    while (p < line.size() && std::isspace(static_cast<unsigned char>(line[p]))) {
-      ++p;
-    }
-    if (p >= line.size() || line[p] != ':') {
-      ++pos;  // matched a string value, not a key
-      continue;
-    }
-    ++p;
-    while (p < line.size() && std::isspace(static_cast<unsigned char>(line[p]))) {
-      ++p;
-    }
-    if (p >= line.size()) return false;
-    std::size_t end = p;
-    if (line[p] == '"') {
-      end = p + 1;
-      while (end < line.size() && line[end] != '"') {
-        if (line[end] == '\\') ++end;
-        ++end;
-      }
-      if (end >= line.size()) return false;
-      ++end;  // include closing quote
-    } else {
-      while (end < line.size() && line[end] != ',' && line[end] != '}') {
-        ++end;
-      }
-    }
-    *out = line.substr(p, end - p);
-    while (!out->empty() &&
-           std::isspace(static_cast<unsigned char>(out->back()))) {
-      out->pop_back();
-    }
-    return true;
-  }
-  return false;
-}
-
-bool JsonStringField(const std::string& line, const std::string& key,
-                     std::string* out) {
-  std::string raw;
-  if (!JsonRawField(line, key, &raw)) return false;
-  if (raw.size() < 2 || raw.front() != '"' || raw.back() != '"') return false;
-  *out = raw.substr(1, raw.size() - 2);
-  return true;
-}
-
-bool JsonNumberField(const std::string& line, const std::string& key,
-                     double* out) {
-  std::string raw;
-  if (!JsonRawField(line, key, &raw)) return false;
-  char* end = nullptr;
-  *out = std::strtod(raw.c_str(), &end);
-  return end != raw.c_str();
-}
-
-bool JsonBoolField(const std::string& line, const std::string& key,
-                   bool* out) {
-  std::string raw;
-  if (!JsonRawField(line, key, &raw)) return false;
-  if (raw == "true") {
-    *out = true;
-    return true;
-  }
-  if (raw == "false") {
-    *out = false;
-    return true;
-  }
-  return false;
-}
-
-/// Double -> uint32 with an explicit range check: the raw cast is UB for
-/// negative or oversized values, and those are exactly what malformed
-/// input lines contain.
-bool CheckedU32(double number, std::uint32_t* out) {
-  if (!(number >= 0.0) || number > 4294967295.0) return false;
-  *out = static_cast<std::uint32_t>(number);
-  return true;
-}
-
-/// Parses one JSONL line into a Query. `id_json` receives the raw "id"
-/// token when it is a scalar (echoing it back stays valid JSON) or a
-/// synthesized line number.
-bool ParseQueryLine(const std::string& line, std::size_t line_number,
-                    ticl::Query* query, std::string* id_json,
-                    std::string* error) {
-  if (!JsonRawField(line, "id", id_json) || id_json->empty() ||
-      (*id_json)[0] == '[' || (*id_json)[0] == '{') {
-    // Missing id, or a composite value JsonRawField would truncate at the
-    // first ',' — echoing that back would corrupt the output JSONL.
-    *id_json = std::to_string(line_number);
-  }
-  double number = 0.0;
-  if (JsonNumberField(line, "k", &number) && !CheckedU32(number, &query->k)) {
-    *error = "k out of range";
-    return false;
-  }
-  if (JsonNumberField(line, "r", &number) && !CheckedU32(number, &query->r)) {
-    *error = "r out of range";
-    return false;
-  }
-  if (JsonNumberField(line, "s", &number) &&
-      !CheckedU32(number, &query->size_limit)) {
-    *error = "s out of range";
-    return false;
-  }
-  JsonBoolField(line, "non_overlapping", &query->non_overlapping);
-
-  double alpha = 1.0;
-  double beta = 1.0;
-  JsonNumberField(line, "alpha", &alpha);
-  JsonNumberField(line, "beta", &beta);
-  std::string f = "sum";
-  JsonStringField(line, "f", &f);
-  if (f == "min") {
-    query->aggregation = ticl::AggregationSpec::Min();
-  } else if (f == "max") {
-    query->aggregation = ticl::AggregationSpec::Max();
-  } else if (f == "sum") {
-    query->aggregation = ticl::AggregationSpec::Sum();
-  } else if (f == "sum-surplus") {
-    query->aggregation = ticl::AggregationSpec::SumSurplus(alpha);
-  } else if (f == "avg") {
-    query->aggregation = ticl::AggregationSpec::Avg();
-  } else if (f == "weight-density") {
-    query->aggregation = ticl::AggregationSpec::WeightDensity(beta);
-  } else if (f == "balanced-density") {
-    query->aggregation = ticl::AggregationSpec::BalancedDensity();
-  } else {
-    *error = "unknown aggregation: " + f;
-    return false;
-  }
-  return true;
-}
-
-void PrintResultLine(const std::string& id_json, const ticl::Query& query,
-                     const ticl::SearchResult& result, bool cached) {
-  std::printf("{\"id\": %s, \"query\": \"%s\", \"cached\": %s, "
-              "\"elapsed_seconds\": %.6f, \"communities\": [",
-              id_json.c_str(), ticl::QueryToString(query).c_str(),
-              cached ? "true" : "false", result.stats.elapsed_seconds);
-  for (std::size_t i = 0; i < result.communities.size(); ++i) {
-    const ticl::Community& c = result.communities[i];
-    std::printf("%s{\"influence\": %.17g, \"members\": [",
-                i == 0 ? "" : ", ", c.influence);
-    for (std::size_t j = 0; j < c.members.size(); ++j) {
-      std::printf("%s%u", j == 0 ? "" : ", ", c.members[j]);
-    }
-    std::printf("]}");
-  }
-  std::printf("]}\n");
-}
+// JSON parsing and formatting live in src/serve/protocol.{h,cc}, shared
+// byte-for-byte with the network front end (tools/ticl_served) — the
+// batch and streaming paths speak the same language by construction.
 
 struct PendingQuery {
   std::string id_json;
@@ -358,7 +180,7 @@ int main(int argc, char** argv) {
   engine_options.num_threads = options.threads;
   engine_options.cache_member_budget = options.cache_member_budget;
   engine_options.solve.epsilon = options.epsilon;
-  if (!ResolveSolver(options.solver, &engine_options.solve.solver)) {
+  if (!ticl::ParseSolverKind(options.solver, &engine_options.solve.solver)) {
     std::fprintf(stderr, "error: unknown solver: %s\n", options.solver.c_str());
     return 1;
   }
@@ -379,27 +201,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", error.c_str());
     return 2;
   }
-  // Delta chain: each file names its parent by fingerprint; verify before
-  // handing it to the engine so a mis-ordered chain fails with a chain
-  // error, not a structural one. ApplyDelta maintains the core index
-  // incrementally instead of re-running the decomposition.
+  // Delta chain: each file names its parent by fingerprint, so a
+  // mis-ordered chain fails with a chain error before any mutation;
+  // ApplyDelta maintains the core index incrementally instead of
+  // re-running the decomposition.
   for (const std::string& delta_path : options.delta_paths) {
-    ticl::GraphDelta delta;
-    ticl::GraphFingerprint parent;
-    if (!ticl::LoadDeltaSnapshot(delta_path, &delta, &parent, &error)) {
+    if (!engine->ApplyDeltaSnapshotFile(delta_path, &error)) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
-      return 2;
-    }
-    if (!(parent == engine->graph().fingerprint())) {
-      std::fprintf(stderr,
-                   "error: delta %s was recorded against a different parent "
-                   "(wrong base snapshot or wrong --delta order)\n",
-                   delta_path.c_str());
-      return 2;
-    }
-    if (!engine->ApplyDelta(delta, &error)) {
-      std::fprintf(stderr, "error: %s: %s\n", delta_path.c_str(),
-                   error.c_str());
       return 2;
     }
   }
@@ -458,17 +266,22 @@ int main(int argc, char** argv) {
       if (first == std::string::npos || line[first] == '#') continue;
 
       PendingQuery entry;
-      if (!ParseQueryLine(line, line_number, &entry.query, &entry.id_json,
-                          &error)) {
-        std::printf("{\"id\": %s, \"error\": \"%s\"}\n",
-                    entry.id_json.c_str(), error.c_str());
+      if (!ticl::ParseQueryLine(line, line_number, &entry.query,
+                                &entry.id_json, &error)) {
+        std::fputs(ticl::FormatErrorLine(entry.id_json, error,
+                                         ticl::kErrorKindParse)
+                       .c_str(),
+                   stdout);
         had_bad_input = true;
         continue;
       }
       const std::string problem = engine->Validate(entry.query);
       if (!problem.empty()) {
-        std::printf("{\"id\": %s, \"error\": \"invalid query: %s\"}\n",
-                    entry.id_json.c_str(), problem.c_str());
+        std::fputs(ticl::FormatErrorLine(entry.id_json,
+                                         "invalid query: " + problem,
+                                         ticl::kErrorKindInvalid)
+                       .c_str(),
+                   stdout);
         had_bad_input = true;
         continue;
       }
@@ -478,8 +291,10 @@ int main(int argc, char** argv) {
 
     for (PendingQuery& entry : pending) {
       const ticl::EngineResponse response = entry.future.get();
-      PrintResultLine(entry.id_json, entry.query, *response.result,
-                      response.cache_hit);
+      std::fputs(ticl::FormatResultLine(entry.id_json, entry.query,
+                                        *response.result, response.cache_hit)
+                     .c_str(),
+                 stdout);
       ++answered;
       if (options.validate) {
         const std::string problem = ticl::ValidateResult(
