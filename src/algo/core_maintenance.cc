@@ -139,6 +139,7 @@ void CoreMaintainer::InsertEdge(VertexId u, VertexId v) {
   }
   for (const VertexId w : collected) {
     if (flag_[w] == 0) {
+      RecordBaseline(w);
       core_[w] = r + 1;
       ++changed_;
     }
@@ -190,6 +191,7 @@ void CoreMaintainer::DeleteEdge(VertexId u, VertexId v) {
     while (!fallen.empty()) {
       const VertexId w = fallen.back();
       fallen.pop_back();
+      RecordBaseline(w);
       core_[w] = r - 1;
       ++changed_;
       ForEachNeighbor(w, [&](VertexId x) {
@@ -207,6 +209,27 @@ void CoreMaintainer::DeleteEdge(VertexId u, VertexId v) {
       });
     }
   }
+}
+
+AffectedSummary CoreMaintainer::Summary() const {
+  AffectedSummary summary;
+  for (const auto& [v, old_core] : baseline_) {
+    const VertexId new_core = core_[v];
+    if (new_core == old_core) continue;  // rose then fell back (or vice versa)
+    summary.changed_vertices.push_back(v);
+    const VertexId lo = std::min(old_core, new_core) + 1;
+    const VertexId hi = std::max(old_core, new_core);
+    if (summary.changed_vertices.size() == 1) {
+      summary.min_crossed = lo;
+      summary.max_crossed = hi;
+    } else {
+      summary.min_crossed = std::min(summary.min_crossed, lo);
+      summary.max_crossed = std::max(summary.max_crossed, hi);
+    }
+  }
+  std::sort(summary.changed_vertices.begin(),
+            summary.changed_vertices.end());
+  return summary;
 }
 
 VertexId CoreMaintainer::ComputeDegeneracy() const {

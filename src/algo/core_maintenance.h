@@ -38,11 +38,32 @@
 
 #include <cstdint>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.h"
 
 namespace ticl {
+
+/// Net effect of an edit batch on the core decomposition: which vertices
+/// ended at a different core number than they started, and the range of
+/// k-thresholds those moves crossed. A vertex moving c_old -> c_new
+/// changes membership of exactly the k-cores with k in
+/// (min(c_old, c_new), max(c_old, c_new)] — so a consumer that cares
+/// about level k is unaffected whenever k lies outside
+/// [min_crossed, max_crossed]. The serve layer's result cache keys its
+/// partial invalidation on this (src/serve/result_cache.h).
+struct AffectedSummary {
+  /// Vertices whose core number differs from the baseline, ascending.
+  /// Intermediate moves that cancel out across the batch are excluded.
+  std::vector<VertexId> changed_vertices;
+  /// Smallest / largest k-threshold crossed by any net change; both 0
+  /// when changed_vertices is empty.
+  VertexId min_crossed = 0;
+  VertexId max_crossed = 0;
+
+  bool any() const { return !changed_vertices.empty(); }
+};
 
 class CoreMaintainer {
  public:
@@ -79,7 +100,14 @@ class CoreMaintainer {
   std::uint64_t changed_vertices() const { return changed_; }
   std::uint64_t visited_vertices() const { return visited_; }
 
+  /// Net changes since construction (O(changed) to compute). Valid until
+  /// TakeCoreNumbers(); callers needing both must take the summary first.
+  AffectedSummary Summary() const;
+
  private:
+  /// Remembers the pre-batch core number the first time `v` moves, so
+  /// Summary() can report net (not gross) changes.
+  void RecordBaseline(VertexId v) { baseline_.emplace(v, core_[v]); }
   template <typename Fn>
   void ForEachNeighbor(VertexId v, Fn&& fn) const;
 
@@ -98,6 +126,8 @@ class CoreMaintainer {
   std::vector<std::vector<VertexId>> extra_;
   std::vector<std::vector<VertexId>> removed_;
   std::uint64_t total_removed_ = 0;
+  /// First-seen (pre-batch) core number of every vertex that ever moved.
+  std::unordered_map<VertexId, VertexId> baseline_;
   /// Epoch-stamped scratch shared by both traversals.
   std::vector<std::uint32_t> stamp_;
   std::vector<VertexId> cd_;

@@ -13,12 +13,24 @@ namespace ticl {
 
 namespace {
 
-/// Size-aware cache charge: total member ids held by the result, floored
-/// at 1 so empty results still occupy a slot's worth of budget.
-std::size_t ResultCharge(const SearchResult& result) {
-  std::size_t members = 0;
-  for (const Community& c : result.communities) members += c.members.size();
-  return std::max<std::size_t>(members, 1);
+/// What the cache's keep rule needs to know about a query's answer.
+CacheEntryMeta MetaFor(const Query& query) {
+  CacheEntryMeta meta;
+  meta.k = query.k;
+  // Balanced density is the one aggregation that consults whole-graph
+  // state (w(V \ H) via total_weight()); its entries must go whenever any
+  // weight moves, at any k.
+  meta.total_weight_sensitive =
+      query.aggregation.kind == Aggregation::kBalancedDensity;
+  return meta;
+}
+
+ResultCacheOptions CacheOptionsFor(const EngineOptions& options) {
+  ResultCacheOptions cache;
+  cache.member_budget = options.cache_member_budget;
+  cache.ttl_ms = options.cache_ttl_ms;
+  cache.clock_for_test = options.cache_clock_for_test;
+  return cache;
 }
 
 }  // namespace
@@ -48,8 +60,9 @@ QueryEngine::QueryEngine(std::unique_ptr<MappedSnapshot> mapped,
                          const std::vector<unsigned char>& index_payload,
                          const EngineOptions& options)
     : base_solve_options_(options.solve),
-      cache_member_budget_(options.cache_member_budget),
+      cache_partial_invalidation_(options.cache_partial_invalidation),
       solve_started_hook_for_test_(options.solve_started_hook_for_test),
+      cache_(CacheOptionsFor(options)),
       pool_(options.num_threads) {
   const std::string options_problem = ValidateSolveOptions(options.solve);
   TICL_CHECK_MSG(options_problem.empty(), options_problem.c_str());
@@ -157,23 +170,27 @@ EngineResponse QueryEngine::Run(const Query& query) {
     ++stats_.queries;
     state = state_;
     generation = generation_;
-    if (cache_member_budget_ > 0) {
-      const auto it = cache_.find(key);
-      if (it != cache_.end()) {
-        lru_.splice(lru_.begin(), lru_, it->second);  // bump to MRU
+    if (cache_.enabled()) {
+      if (std::shared_ptr<const SearchResult> cached = cache_.Lookup(key)) {
         ++stats_.cache_hits;
-        return {it->second->result, true};
+        return {std::move(cached), true};
       }
     }
-    const auto pending_it = pending_.find(key);
-    if (pending_it != pending_.end()) {
-      pending = pending_it->second;
+    pending = cache_.FindPending(key);
+    if (pending != nullptr) {
       ++stats_.cache_coalesced;
     } else {
       pending = std::make_shared<PendingSolve>();
-      pending_.emplace(key, pending);
+      cache_.AddPending(key, pending);
       owner = true;
-      ++stats_.cache_misses;
+      // With the cache disabled no answer can ever be cached; that is an
+      // `uncacheable` outcome, not a miss — every query must land in
+      // exactly one of the four counters.
+      if (cache_.enabled()) {
+        ++stats_.cache_misses;
+      } else {
+        ++stats_.cache_uncacheable;
+      }
     }
   }
   if (!owner) {
@@ -197,19 +214,27 @@ EngineResponse QueryEngine::Run(const Query& query) {
     // later query.
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      const auto it = pending_.find(key);
-      if (it != pending_.end() && it->second == pending) pending_.erase(it);
+      cache_.RemovePending(key, pending);
     }
     pending->promise.set_exception(std::current_exception());
     throw;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = pending_.find(key);
-    if (it != pending_.end() && it->second == pending) pending_.erase(it);
+    cache_.RemovePending(key, pending);
     // A result computed against a retired generation must not seed the
-    // fresh cache: the delta may have changed this very answer.
-    if (generation == generation_) CacheInsertLocked(key, result);
+    // cache: the delta may have changed this very answer (it stays a
+    // plain miss — it did answer its caller).
+    if (cache_.enabled() && generation == generation_) {
+      if (cache_.Insert(key, MetaFor(query), result) ==
+          ResultCache::InsertOutcome::kUncacheable) {
+        // Reclassify: this solve's answer can never be cached (its charge
+        // alone exceeds the whole budget), which the miss counter claimed
+        // optimistically at lookup time.
+        --stats_.cache_misses;
+        ++stats_.cache_uncacheable;
+      }
+    }
   }
   pending->promise.set_value(result);
   return {std::move(result), false};
@@ -249,10 +274,28 @@ void QueryEngine::Submit(const Query& query,
 }
 
 bool QueryEngine::ApplyDelta(const GraphDelta& delta, std::string* error) {
+  return ApplyDelta(delta, nullptr, error);
+}
+
+bool QueryEngine::ApplyDelta(const GraphDelta& delta,
+                             const GraphFingerprint* expected_parent,
+                             std::string* error) {
   // One delta at a time; queries keep flowing against the current state
   // while the successor is built.
   std::lock_guard<std::mutex> apply_lock(apply_mutex_);
   const std::shared_ptr<const ServingState> old_state = CurrentState();
+
+  // The parent check must live inside the critical section: a caller that
+  // verified the fingerprint before reaching this lock may have lost a
+  // race to another delta, and applying against the winner's graph would
+  // mutate a base this delta was never recorded for.
+  if (expected_parent != nullptr &&
+      !(*expected_parent == old_state->graph->fingerprint())) {
+    *error =
+        "delta was recorded against a different parent graph (wrong base "
+        "snapshot, wrong chain order, or a concurrent update won the race)";
+    return false;
+  }
 
   const std::string problem = ValidateDelta(*old_state->graph, delta);
   if (!problem.empty()) {
@@ -268,6 +311,29 @@ bool QueryEngine::ApplyDelta(const GraphDelta& delta, std::string* error) {
   for (const Edge& e : delta.delete_edges) maintainer.DeleteEdge(e.u, e.v);
   for (const Edge& e : delta.insert_edges) maintainer.InsertEdge(e.u, e.v);
 
+  // Condense the delta to the thresholds the cache's keep rule tests,
+  // against the *post-delta* core numbers (sound — see result_cache.h:
+  // any level where old and new membership could disagree lies inside the
+  // crossed range and is evicted wholesale).
+  DeltaImpact impact;
+  const AffectedSummary affected = maintainer.Summary();
+  impact.any_core_crossed = affected.any();
+  impact.crossed_min = affected.min_crossed;
+  impact.crossed_max = affected.max_crossed;
+  const std::vector<VertexId>& core = maintainer.core_numbers();
+  for (const Edge& e : delta.delete_edges) {
+    impact.evict_k_le =
+        std::max(impact.evict_k_le, std::min(core[e.u], core[e.v]));
+  }
+  for (const Edge& e : delta.insert_edges) {
+    impact.evict_k_le =
+        std::max(impact.evict_k_le, std::min(core[e.u], core[e.v]));
+  }
+  for (const WeightUpdate& w : delta.weight_updates) {
+    impact.evict_k_le = std::max(impact.evict_k_le, core[w.vertex]);
+    impact.total_weight_changed = true;
+  }
+
   auto next = std::make_shared<ServingState>();
   next->owned_graph = ApplyValidatedDelta(*old_state->graph, delta);
   next->graph = &next->owned_graph;
@@ -281,13 +347,17 @@ bool QueryEngine::ApplyDelta(const GraphDelta& delta, std::string* error) {
     std::lock_guard<std::mutex> lock(mutex_);
     state_ = std::move(next);
     ++generation_;
-    // Every cached and in-flight answer describes the old graph; drop the
-    // cache and detach the coalescing map (in-flight owners still fulfil
-    // their waiters, they just no longer seed the new cache).
-    pending_.clear();
-    lru_.clear();
-    cache_.clear();
-    cache_charge_ = 0;
+    // In-flight answers describe the old graph: detach the coalescing map
+    // (owners still fulfil their waiters, they just no longer seed the
+    // new cache — the generation bump blocks that). Cached entries are
+    // swept by the keep rule: an entry survives only when the delta
+    // provably left its k-level's induced subgraph untouched.
+    cache_.ClearPending();
+    if (cache_partial_invalidation_) {
+      cache_.InvalidateForDelta(impact);
+    } else {
+      cache_.Clear();
+    }
     ++stats_.deltas_applied;
   }
   return true;
@@ -299,13 +369,10 @@ bool QueryEngine::ApplyDeltaSnapshotFile(const std::string& path,
   GraphDelta delta;
   GraphFingerprint parent;
   if (!LoadDeltaSnapshot(path, &delta, &parent, error)) return false;
-  if (!(parent == graph().fingerprint())) {
-    *error = "delta " + path +
-             " was recorded against a different parent graph (wrong base "
-             "snapshot or wrong chain order)";
-    return false;
-  }
-  if (!ApplyDelta(delta, error)) {
+  // The recorded parent is enforced inside ApplyDelta's critical section,
+  // so two callers racing chained deltas cannot both slip past a
+  // check-then-apply window.
+  if (!ApplyDelta(delta, &parent, error)) {
     *error = path + ": " + *error;
     return false;
   }
@@ -316,37 +383,14 @@ bool QueryEngine::ApplyDeltaSnapshotFile(const std::string& path,
 EngineStats QueryEngine::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   EngineStats out = stats_;
-  out.cache_charge = cache_charge_;
+  const ResultCacheCounters& cache = cache_.counters();
+  out.cache_evictions = cache.evictions;
+  out.cache_negative_hits = cache.negative_hits;
+  out.cache_expired = cache.expired;
+  out.cache_partial_kept = cache.partial_kept;
+  out.cache_partial_evicted = cache.partial_evicted;
+  out.cache_charge = cache_.charge();
   return out;
-}
-
-void QueryEngine::CacheInsertLocked(
-    const std::string& key,
-    const std::shared_ptr<const SearchResult>& result) {
-  if (cache_member_budget_ == 0) return;
-  if (cache_.find(key) != cache_.end()) {
-    // Already resident (e.g. inserted by a racing path); keep the
-    // incumbent.
-    return;
-  }
-  // A result bigger than the whole budget would evict everything and still
-  // not fit — serving it uncached is strictly better. Count it so the
-  // operator can see a budget that is starving large answers.
-  const std::size_t charge = ResultCharge(*result);
-  if (charge > cache_member_budget_) {
-    ++stats_.cache_uncacheable;
-    return;
-  }
-  lru_.push_front(CacheEntry{key, result, charge});
-  cache_.emplace(key, lru_.begin());
-  cache_charge_ += charge;
-  while (cache_charge_ > cache_member_budget_) {
-    const CacheEntry& victim = lru_.back();
-    cache_charge_ -= victim.charge;
-    cache_.erase(victim.key);
-    lru_.pop_back();
-    ++stats_.cache_evictions;
-  }
 }
 
 }  // namespace ticl

@@ -18,11 +18,14 @@
 // dynamic: ApplyDelta() takes a GraphDelta (edge inserts/deletes, weight
 // updates), rebuilds the CSR backend, maintains the core index with the
 // order-based algorithm (O(affected subgraph), not a fresh O(n + m)
-// decomposition), invalidates the result cache and atomically swaps the
-// serving state. Queries running concurrently finish against the state
-// they started with — each query pins a shared snapshot of
-// (graph, index, solve options), so a swap never pulls memory out from
-// under a solver; the old state is freed when its last query completes.
+// decomposition), invalidates the result cache *partially* — only entries
+// whose k-level the delta could have perturbed are dropped (see
+// serve/result_cache.h for the keep rule and its soundness argument) —
+// and atomically swaps the serving state. Queries running concurrently
+// finish against the state they started with — each query pins a shared
+// snapshot of (graph, index, solve options), so a swap never pulls memory
+// out from under a solver; the old state is freed when its last query
+// completes.
 //
 // Callers either Run() synchronously (the calling thread does the graph
 // work) or Submit() to the pool and collect a future. Either way the
@@ -46,11 +49,9 @@
 #include <cstdint>
 #include <functional>
 #include <future>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/query.h"
@@ -60,6 +61,7 @@
 #include "graph/graph_delta.h"
 #include "serve/core_index.h"
 #include "serve/mapped_snapshot.h"
+#include "serve/result_cache.h"
 #include "serve/thread_pool.h"
 
 namespace ticl {
@@ -75,6 +77,15 @@ struct EngineOptions {
   /// A single result larger than the whole budget is not cached at all
   /// (counted in EngineStats::cache_uncacheable). 0 disables caching.
   std::size_t cache_member_budget = 1u << 20;
+  /// Per-entry TTL in milliseconds (0 = cached answers never expire).
+  /// Useful when the serving graph is refreshed out of band and bounded
+  /// staleness is acceptable; expiry is lazy, on lookup.
+  std::uint64_t cache_ttl_ms = 0;
+  /// When true (default), ApplyDelta evicts only the cache entries whose
+  /// k-level the delta could have perturbed; false restores the
+  /// wholesale clear (operator kill-switch, and the baseline the cache
+  /// benchmarks compare against).
+  bool cache_partial_invalidation = true;
   /// Base solver configuration. The engine installs its own CoreIndex into
   /// this before every dispatch; any caller-supplied core_index is ignored.
   SolveOptions solve;
@@ -82,23 +93,45 @@ struct EngineOptions {
   /// cache-miss Solve() runs. Lets the dedup tests hold a solve open
   /// deterministically. Never set this in production.
   std::function<void()> solve_started_hook_for_test;
+  /// Test seam: time source for cache TTL, so expiry tests advance a fake
+  /// clock instead of sleeping. Never set this in production.
+  CacheClock cache_clock_for_test;
 };
 
 struct EngineStats {
+  /// Every query lands in exactly one of cache_hits, cache_misses,
+  /// cache_coalesced or cache_uncacheable:
+  ///   hits        served from a resident entry (negative ones included),
+  ///   coalesced   waited on another caller's in-flight solve,
+  ///   misses      ran Solve and the answer was cacheable (a result
+  ///               computed against a just-retired serving state stays a
+  ///               miss — it answered, it just may not seed the cache),
+  ///   uncacheable ran Solve but the answer could never be cached: the
+  ///               cache is disabled, or the result's member charge alone
+  ///               exceeds the whole budget.
+  /// cache_hits + cache_misses + cache_coalesced + cache_uncacheable
+  /// == queries; the engine tests assert this after mixed workloads.
   std::uint64_t queries = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
-  /// Queries that found a miss for their key already in flight and waited
-  /// for its result instead of re-running Solve.
-  /// cache_hits + cache_misses + cache_coalesced == queries.
   std::uint64_t cache_coalesced = 0;
-  std::uint64_t cache_evictions = 0;
-  /// Results served uncached because their member charge alone exceeded
-  /// the whole cache budget (silent before; now observable).
   std::uint64_t cache_uncacheable = 0;
+  /// Entries pushed out by the LRU budget sweep.
+  std::uint64_t cache_evictions = 0;
+  /// Hits served from a negative (zero-community) entry — a subset of
+  /// cache_hits.
+  std::uint64_t cache_negative_hits = 0;
+  /// Lookups that found an entry past its TTL (dropped; the query then
+  /// counts as a miss).
+  std::uint64_t cache_expired = 0;
+  /// Partial-invalidation outcomes across all deltas: entries a delta
+  /// provably could not have changed (kept, still servable) vs entries
+  /// evicted because the keep rule could not prove them safe.
+  std::uint64_t cache_partial_kept = 0;
+  std::uint64_t cache_partial_evicted = 0;
   /// Current total charge (member count) of resident cache entries.
   std::uint64_t cache_charge = 0;
-  /// Completed ApplyDelta() calls (each one cleared the cache).
+  /// Completed ApplyDelta() calls.
   std::uint64_t deltas_applied = 0;
 };
 
@@ -183,21 +216,32 @@ class QueryEngine {
 
   /// Applies a delta to the serving graph: validates it against the
   /// current graph, rebuilds the CSR backend, maintains the CoreIndex
-  /// incrementally (order-based, O(affected subgraph)), invalidates the
-  /// result cache and in-flight coalescing map, and atomically swaps the
-  /// serving state. In-flight queries complete against the pre-delta
-  /// state; queries arriving after the swap see the new graph. Returns
-  /// false and sets *error when the delta does not apply cleanly (the
-  /// serving state is then untouched). Concurrent ApplyDelta calls are
-  /// serialized.
+  /// incrementally (order-based, O(affected subgraph)), detaches the
+  /// in-flight coalescing map, evicts exactly the cache entries the
+  /// delta could have changed (wholesale when
+  /// EngineOptions::cache_partial_invalidation is off), and atomically
+  /// swaps the serving state. In-flight queries complete against the
+  /// pre-delta state; queries arriving after the swap see the new graph.
+  /// Returns false and sets *error when the delta does not apply cleanly
+  /// (the serving state is then untouched). Concurrent ApplyDelta calls
+  /// are serialized.
+  ///
+  /// `expected_parent`, when non-null, is re-verified against the serving
+  /// graph *inside* the critical section: two callers racing chained
+  /// deltas cannot both pass an outside check and have the loser apply
+  /// against a base it never saw — the loser fails with a parent
+  /// mismatch instead.
   bool ApplyDelta(const GraphDelta& delta, std::string* error);
+  bool ApplyDelta(const GraphDelta& delta,
+                  const GraphFingerprint* expected_parent,
+                  std::string* error);
 
-  /// Loads a delta snapshot file, verifies its recorded parent
-  /// fingerprint against the current serving graph (a mis-ordered or
-  /// foreign delta fails here, before any mutation), then ApplyDelta()s
-  /// it. One shared path for start-up --delta chains and the network
-  /// server's live apply_delta admin command. On success *applied (when
-  /// non-null) receives the delta for reporting.
+  /// Loads a delta snapshot file and ApplyDelta()s it with the recorded
+  /// parent fingerprint enforced inside the critical section (a
+  /// mis-ordered, foreign, or raced delta fails cleanly, before any
+  /// mutation). One shared path for start-up --delta chains and the
+  /// network server's live apply_delta admin command. On success
+  /// *applied (when non-null) receives the delta for reporting.
   bool ApplyDeltaSnapshotFile(const std::string& path, std::string* error,
                               GraphDelta* applied = nullptr);
 
@@ -218,44 +262,26 @@ class QueryEngine {
     SolveOptions solve;  // base options with `index` installed
   };
 
-  struct CacheEntry {
-    std::string key;
-    std::shared_ptr<const SearchResult> result;
-    std::size_t charge;
-  };
-
-  /// A cache miss in flight: later arrivals for the same key wait on the
-  /// future instead of re-running Solve.
-  struct PendingSolve {
-    std::promise<std::shared_ptr<const SearchResult>> promise;
-    std::shared_future<std::shared_ptr<const SearchResult>> future =
-        promise.get_future().share();
-  };
-
   QueryEngine(std::unique_ptr<MappedSnapshot> mapped, Graph owned_graph,
               const std::vector<unsigned char>& index_payload,
               const EngineOptions& options);
 
   std::shared_ptr<const ServingState> CurrentState() const;
-  /// Inserts under mutex_ (already held). Handles budget, duplicate keys,
-  /// oversized results and eviction.
-  void CacheInsertLocked(const std::string& key,
-                         const std::shared_ptr<const SearchResult>& result);
 
   SolveOptions base_solve_options_;
-  std::size_t cache_member_budget_;
+  bool cache_partial_invalidation_;
   std::function<void()> solve_started_hook_for_test_;
 
   mutable std::mutex mutex_;
   std::shared_ptr<const ServingState> state_;  // guarded by mutex_
   /// Bumped by every ApplyDelta; results computed under an older
-  /// generation are not inserted into the (already invalidated) cache.
+  /// generation are not inserted into the cache — the entries that
+  /// survived the partial sweep were *proved* unchanged, while a stale
+  /// in-flight result carries no such proof.
   std::uint64_t generation_ = 0;
-  std::unordered_map<std::string, std::shared_ptr<PendingSolve>> pending_;
-  /// MRU-first recency list; the map points into it.
-  std::list<CacheEntry> lru_;
-  std::unordered_map<std::string, std::list<CacheEntry>::iterator> cache_;
-  std::size_t cache_charge_ = 0;
+  /// Finished results + in-flight coalescing map; guarded by mutex_ (the
+  /// cache itself is deliberately unsynchronized).
+  ResultCache cache_;
   EngineStats stats_;
 
   /// Serializes ApplyDelta callers (mutex_ alone can't: the rebuild runs

@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -82,6 +83,10 @@ void Server::CompletionQueue::Wake() {
 Server::Server(QueryEngine* engine, ServerOptions options)
     : engine_(engine),
       options_(std::move(options)),
+      per_conn_cap_(options_.max_in_flight_per_conn != 0
+                        ? options_.max_in_flight_per_conn
+                        : std::max<std::size_t>(
+                              options_.max_in_flight / 4, 1)),
       completions_(std::make_shared<CompletionQueue>()) {}
 
 Server::~Server() {
@@ -419,6 +424,22 @@ void Server::SubmitQuery(Connection* conn, const ParsedRequest& request) {
                           kErrorKindRejected));
     return;
   }
+  // Fairness: global slots are free, but this connection already holds
+  // its share of them — reject it (distinct message, so its operator
+  // knows which limit bit) instead of letting one chatty client claim
+  // every slot and starve the quiet ones.
+  if (conn->in_flight >= per_conn_cap_) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.server_rejected_per_conn;
+    }
+    Reply(conn,
+          FormatErrorLine(request.id_json,
+                          "connection at capacity: " + U64(conn->in_flight) +
+                              " queries in flight on this connection",
+                          kErrorKindRejected));
+    return;
+  }
   ++total_in_flight_;
   ++conn->in_flight;
   {
@@ -489,6 +510,13 @@ void Server::HandleAdmin(Connection* conn, const ParsedRequest& request) {
              ", \"cache_evictions\": " + U64(engine_stats.cache_evictions) +
              ", \"cache_uncacheable\": " +
              U64(engine_stats.cache_uncacheable) +
+             ", \"cache_negative_hits\": " +
+             U64(engine_stats.cache_negative_hits) +
+             ", \"cache_expired\": " + U64(engine_stats.cache_expired) +
+             ", \"cache_partial_kept\": " +
+             U64(engine_stats.cache_partial_kept) +
+             ", \"cache_partial_evicted\": " +
+             U64(engine_stats.cache_partial_evicted) +
              ", \"cache_charge\": " + U64(engine_stats.cache_charge) +
              ", \"deltas_applied\": " + U64(engine_stats.deltas_applied) +
              "}, ";
@@ -506,6 +534,8 @@ void Server::HandleAdmin(Connection* conn, const ParsedRequest& request) {
              ", \"parse_errors\": " + U64(server_stats.parse_errors) +
              ", \"invalid_queries\": " + U64(server_stats.invalid_queries) +
              ", \"server_rejected\": " + U64(server_stats.server_rejected) +
+             ", \"server_rejected_per_conn\": " +
+             U64(server_stats.server_rejected_per_conn) +
              ", \"admin_commands\": " + U64(server_stats.admin_commands) +
              ", \"oversized_lines\": " + U64(server_stats.oversized_lines) +
              "}}\n";

@@ -7,9 +7,12 @@
 // the damage any client (or all of them together) can do:
 //
 //   * Admission control — at most `max_in_flight` queries are inside the
-//     engine at once. Excess load is *rejected immediately* with a
-//     structured JSON error ("kind": "rejected", counted in
-//     ServerStats::server_rejected) instead of queueing without bound or
+//     engine at once, and no single connection may hold more than
+//     `max_in_flight_per_conn` of those slots (default: a quarter of the
+//     global cap), so one chatty client cannot starve the rest. Excess
+//     load is *rejected immediately* with a structured JSON error
+//     ("kind": "rejected", counted in ServerStats::server_rejected /
+//     server_rejected_per_conn) instead of queueing without bound or
 //     stalling the loop.
 //   * Write backpressure — a connection whose reply buffer exceeds
 //     `max_write_buffer_bytes` stops being read until the peer drains
@@ -63,6 +66,13 @@ struct ServerOptions {
   /// Admission control: queries inside the engine at once, across all
   /// connections. Excess queries are rejected with a JSON error.
   std::size_t max_in_flight = 256;
+  /// Per-connection fairness cap: queries one connection may have inside
+  /// the engine at once. 0 = auto (max_in_flight / 4, floored at 1), so
+  /// one chatty client can never claim every global slot and starve the
+  /// others. Excess queries from that connection are rejected with the
+  /// same "rejected" error kind (a distinct message, counted in
+  /// ServerStats::server_rejected_per_conn).
+  std::size_t max_in_flight_per_conn = 0;
   /// Per-connection reply-buffer high-water mark; reading from the
   /// connection pauses above it and resumes once fully flushed.
   std::size_t max_write_buffer_bytes = 4u << 20;
@@ -87,8 +97,12 @@ struct ServerStats {
   std::uint64_t responses_dropped = 0;
   std::uint64_t parse_errors = 0;
   std::uint64_t invalid_queries = 0;
-  /// Queries rejected by admission control (max_in_flight).
+  /// Queries rejected by global admission control (max_in_flight).
   std::uint64_t server_rejected = 0;
+  /// Queries rejected by the per-connection fairness cap
+  /// (max_in_flight_per_conn) — the offender hit its own ceiling while
+  /// global slots may still have been free.
+  std::uint64_t server_rejected_per_conn = 0;
   std::uint64_t admin_commands = 0;
   /// Lines discarded for exceeding kMaxRequestLineBytes.
   std::uint64_t oversized_lines = 0;
@@ -165,6 +179,8 @@ class Server {
 
   QueryEngine* const engine_;
   const ServerOptions options_;
+  /// Resolved max_in_flight_per_conn (0-auto applied).
+  const std::size_t per_conn_cap_;
   const std::shared_ptr<CompletionQueue> completions_;
 
   int epoll_fd_ = -1;

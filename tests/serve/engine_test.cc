@@ -1,7 +1,10 @@
 #include "serve/engine.h"
 
 #include <atomic>
+#include <chrono>
 #include <future>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -62,6 +65,14 @@ std::vector<Query> MixedQueries() {
   tonic.aggregation = AggregationSpec::Sum();
   queries.push_back(tonic);
   return queries;
+}
+
+/// The accounting contract documented on EngineStats: every query lands
+/// in exactly one outcome counter.
+void ExpectOutcomeInvariant(const EngineStats& stats) {
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses + stats.cache_coalesced +
+                stats.cache_uncacheable,
+            stats.queries);
 }
 
 void ExpectIdentical(const SearchResult& a, const SearchResult& b,
@@ -353,6 +364,101 @@ TEST(QueryEngineTest, ConcurrentMissesOnSameKeyCoalesceToOneSolve) {
             stats.queries);
 }
 
+// -- Outcome accounting, TTL, negative caching ------------------------------
+
+TEST(QueryEngineCacheTest, EveryQueryLandsInExactlyOneOutcomeCounter) {
+  // A workload that exercises all four outcomes: hits, misses, a
+  // coalesced wait (covered by the dedicated dedup test), and both
+  // uncacheable flavours (oversized result; disabled cache).
+  EngineOptions options;
+  options.cache_member_budget = 5;
+  options.num_threads = 1;
+  QueryEngine engine(TwoTrianglesAndK4(), options);
+
+  Query small;  // charge 4: cacheable
+  small.k = 2;
+  small.r = 1;
+  Query huge;  // charge 19 > budget: uncacheable
+  huge.k = 2;
+  huge.r = 5;
+
+  engine.Run(small);                        // miss
+  EXPECT_TRUE(engine.Run(small).cache_hit); // hit
+  engine.Run(huge);                         // uncacheable (reclassified)
+  engine.Run(huge);                         // uncacheable again
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.queries, 4u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_uncacheable, 2u);
+  ExpectOutcomeInvariant(stats);
+
+  // Disabled cache: every solve is an uncacheable outcome, never a miss.
+  EngineOptions disabled;
+  disabled.cache_member_budget = 0;
+  disabled.num_threads = 1;
+  QueryEngine uncached(TwoTrianglesAndK4(), disabled);
+  uncached.Run(small);
+  uncached.Run(small);
+  const EngineStats uncached_stats = uncached.stats();
+  EXPECT_EQ(uncached_stats.queries, 2u);
+  EXPECT_EQ(uncached_stats.cache_misses, 0u);
+  EXPECT_EQ(uncached_stats.cache_uncacheable, 2u);
+  ExpectOutcomeInvariant(uncached_stats);
+}
+
+TEST(QueryEngineCacheTest, NegativeResultsAreCachedAndCounted) {
+  EngineOptions options;
+  options.num_threads = 1;
+  QueryEngine engine(TwoTrianglesAndK4(), options);
+
+  Query none;  // k above the degeneracy (3): zero communities
+  none.k = 5;
+  none.r = 3;
+  const EngineResponse first = engine.Run(none);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(first.result->communities.empty());
+
+  // The recomputation the negative entry exists to avoid:
+  const EngineResponse second = engine.Run(none);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.result.get(), first.result.get());
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cache_negative_hits, 1u);
+  EXPECT_EQ(stats.cache_charge, 1u);  // floored, not free
+  ExpectOutcomeInvariant(stats);
+}
+
+TEST(QueryEngineCacheTest, TtlExpiresEntriesWithInjectedClock) {
+  auto now = std::make_shared<std::chrono::steady_clock::time_point>(
+      std::chrono::steady_clock::time_point{});
+  EngineOptions options;
+  options.num_threads = 1;
+  options.cache_ttl_ms = 100;
+  options.cache_clock_for_test = [now] { return *now; };
+  QueryEngine engine(TwoTrianglesAndK4(), options);
+
+  Query q;
+  q.k = 2;
+  q.r = 1;
+  engine.Run(q);
+  *now += std::chrono::milliseconds(99);
+  EXPECT_TRUE(engine.Run(q).cache_hit);  // still fresh
+  *now += std::chrono::milliseconds(1);
+  const EngineResponse after = engine.Run(q);  // 100ms old: expired
+  EXPECT_FALSE(after.cache_hit);
+  *now += std::chrono::milliseconds(50);
+  EXPECT_TRUE(engine.Run(q).cache_hit);  // the re-solve re-cached it
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.cache_expired, 1u);
+  EXPECT_EQ(stats.cache_hits, 2u);
+  EXPECT_EQ(stats.cache_misses, 2u);
+  ExpectOutcomeInvariant(stats);
+}
+
 // -- ApplyDelta -------------------------------------------------------------
 
 TEST(QueryEngineDeltaTest, ApplyDeltaMatchesFreshEngineBitForBit) {
@@ -518,6 +624,280 @@ TEST(QueryEngineDeltaTest, ConcurrentQueriesDuringApplyDelta) {
   for (std::size_t i = 0; i < queries.size(); ++i) {
     ExpectIdentical(*engine.Run(queries[i]).result,
                     *fresh.Run(queries[i]).result, i);
+  }
+}
+
+// -- Partial invalidation ---------------------------------------------------
+
+// On the hand-analyzed fixture: vertices 0..5 (two bridged triangles) are
+// the 2-core shell, K4 = {6,7,8,9} is the only 3-core. An edit entirely
+// inside the shell cannot perturb any k=3 answer.
+
+TEST(QueryEngineDeltaTest, PartialInvalidationKeepsUnaffectedKLevels) {
+  Graph g = TwoTrianglesAndK4();
+  const Graph reference = g;
+  EngineOptions options;
+  options.num_threads = 1;
+  QueryEngine engine(std::move(g), options);
+
+  Query q2;
+  q2.k = 2;
+  q2.r = 2;
+  Query q3;
+  q3.k = 3;
+  q3.r = 1;
+  const EngineResponse before3 = engine.Run(q3);
+  engine.Run(q2);
+  EXPECT_TRUE(engine.Run(q2).cache_hit);
+  EXPECT_TRUE(engine.Run(q3).cache_hit);
+
+  // Insert {0, 3}: both endpoints at core 2, no core number changes (the
+  // new triangle {0,2,3} is still only a 2-core). Affected levels: k <= 2.
+  GraphDelta delta;
+  delta.insert_edges = {Edge{0, 3}};
+  std::string error;
+  ASSERT_TRUE(engine.ApplyDelta(delta, &error)) << error;
+  const Graph edited = ApplyDeltaToGraph(reference, delta);
+
+  // k=3 survived the sweep and is served from cache — and the kept entry
+  // is exactly what a fresh solve on the edited graph returns.
+  const EngineResponse after3 = engine.Run(q3);
+  EXPECT_TRUE(after3.cache_hit);
+  EXPECT_EQ(after3.result.get(), before3.result.get());
+  ExpectIdentical(*after3.result, Solve(edited, q3), 0);
+
+  // k=2 was evicted and re-solves against the edited graph.
+  const EngineResponse after2 = engine.Run(q2);
+  EXPECT_FALSE(after2.cache_hit);
+  ExpectIdentical(*after2.result, Solve(edited, q2), 1);
+
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.cache_partial_kept, 1u);
+  EXPECT_EQ(stats.cache_partial_evicted, 1u);
+  ExpectOutcomeInvariant(stats);
+}
+
+TEST(QueryEngineDeltaTest, CoreCrossingEvictsTheCrossedLevels) {
+  Graph g = TwoTrianglesAndK4();
+  EngineOptions options;
+  options.num_threads = 1;
+  QueryEngine engine(std::move(g), options);
+
+  Query q2;
+  q2.k = 2;
+  q2.r = 2;
+  Query q3;
+  q3.k = 3;
+  q3.r = 1;
+  engine.Run(q2);
+  engine.Run(q3);
+
+  // Delete {8, 9}: K4 degrades to a 4-cycle — all of {6,7,8,9} fall from
+  // core 3 to core 2, crossing level 3. Both entries must go: k=3 because
+  // its member set changed, k=2 because the edited edge sat inside the
+  // 2-core.
+  GraphDelta delta;
+  delta.delete_edges = {Edge{8, 9}};
+  std::string error;
+  ASSERT_TRUE(engine.ApplyDelta(delta, &error)) << error;
+
+  EXPECT_FALSE(engine.Run(q3).cache_hit);
+  EXPECT_FALSE(engine.Run(q2).cache_hit);
+  EXPECT_EQ(engine.stats().cache_partial_kept, 0u);
+  EXPECT_EQ(engine.stats().cache_partial_evicted, 2u);
+}
+
+TEST(QueryEngineDeltaTest, ReweightEvictsLevelsUpToTheVertexCore) {
+  Graph g = TwoTrianglesAndK4();
+  const Graph reference = g;
+  EngineOptions options;
+  options.num_threads = 1;
+  QueryEngine engine(std::move(g), options);
+
+  Query q2;
+  q2.k = 2;
+  q2.r = 2;
+  Query q3;
+  q3.k = 3;
+  q3.r = 1;
+  engine.Run(q2);
+  engine.Run(q3);
+
+  // Reweight vertex 4 (core 2): structure untouched, so only levels
+  // k <= 2 can see the new weight.
+  GraphDelta delta;
+  delta.weight_updates = {WeightUpdate{4, 42.0}};
+  std::string error;
+  ASSERT_TRUE(engine.ApplyDelta(delta, &error)) << error;
+
+  EXPECT_TRUE(engine.Run(q3).cache_hit);
+  EXPECT_FALSE(engine.Run(q2).cache_hit);
+  ExpectIdentical(*engine.Run(q2).result,
+                  Solve(ApplyDeltaToGraph(reference, delta), q2), 0);
+
+  // Reweight vertex 9 (core 3): now even k=3 answers are suspect.
+  GraphDelta high;
+  high.weight_updates = {WeightUpdate{9, 1.5}};
+  ASSERT_TRUE(engine.ApplyDelta(high, &error)) << error;
+  EXPECT_FALSE(engine.Run(q3).cache_hit);
+}
+
+TEST(QueryEngineDeltaTest, BalancedDensityIsEvictedOnAnyReweight) {
+  Graph g = TwoTrianglesAndK4();
+  EngineOptions options;
+  options.num_threads = 1;
+  QueryEngine engine(std::move(g), options);
+
+  // Same k-level, different sensitivity: balanced density consults the
+  // whole graph's weight (w(V \ H)), sum does not.
+  Query sum3;
+  sum3.k = 3;
+  sum3.r = 1;
+  Query bd3;
+  bd3.k = 3;
+  bd3.r = 1;
+  bd3.aggregation = AggregationSpec::BalancedDensity();
+  engine.Run(sum3);
+  engine.Run(bd3);
+
+  // Reweight far below the 3-core: sum@3 keeps, balanced-density@3 goes.
+  GraphDelta delta;
+  delta.weight_updates = {WeightUpdate{0, 99.0}};
+  std::string error;
+  ASSERT_TRUE(engine.ApplyDelta(delta, &error)) << error;
+
+  EXPECT_TRUE(engine.Run(sum3).cache_hit);
+  EXPECT_FALSE(engine.Run(bd3).cache_hit);
+}
+
+TEST(QueryEngineDeltaTest, WholesaleClearKillSwitchDisablesPartialKeeps) {
+  Graph g = TwoTrianglesAndK4();
+  EngineOptions options;
+  options.num_threads = 1;
+  options.cache_partial_invalidation = false;
+  QueryEngine engine(std::move(g), options);
+
+  Query q3;
+  q3.k = 3;
+  q3.r = 1;
+  engine.Run(q3);
+  GraphDelta delta;
+  delta.insert_edges = {Edge{0, 3}};  // provably cannot touch k=3
+  std::string error;
+  ASSERT_TRUE(engine.ApplyDelta(delta, &error)) << error;
+
+  EXPECT_FALSE(engine.Run(q3).cache_hit);  // dropped anyway: wholesale
+  EXPECT_EQ(engine.stats().cache_partial_kept, 0u);
+  EXPECT_EQ(engine.stats().cache_partial_evicted, 0u);
+}
+
+TEST(QueryEngineDeltaTest, ChurnOracleCacheServedAnswersAreExact) {
+  // The acceptance oracle for partial invalidation: a random delta stream
+  // interleaved with queries across k/r/aggregation; *every* engine
+  // answer — cache-served or fresh — must be bit-identical to a fresh
+  // Solve on the current graph. A single wrong keep-decision surfaces
+  // here as a stale answer.
+  Graph g = WeightedChungLu(71, 500);
+  Graph current = g;
+  EngineOptions options;
+  options.num_threads = 2;
+  QueryEngine engine(std::move(g), options);
+
+  std::vector<Query> queries = MixedQueries();
+  {
+    // High k-levels — the entries deltas in a low-core shell should keep —
+    // plus one far above the degeneracy (a negative entry that survives
+    // every delta below it).
+    Query high;
+    high.r = 2;
+    for (const VertexId k : {4u, 5u, 6u}) {
+      high.k = k;
+      queries.push_back(high);
+    }
+    Query none;
+    none.k = 40;
+    none.r = 1;
+    queries.push_back(none);
+  }
+
+  constexpr int kRounds = 8;
+  std::string error;
+  for (int round = 0; round < kRounds; ++round) {
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const EngineResponse response = engine.Run(queries[i]);
+      ExpectIdentical(*response.result, Solve(current, queries[i]), i);
+    }
+    const GraphDelta delta = RandomDelta(current, /*seed=*/1000 + round,
+                                         /*inserts=*/4, /*deletes=*/4,
+                                         /*weight_updates=*/2);
+    ASSERT_TRUE(engine.ApplyDelta(delta, &error)) << error;
+    current = ApplyDeltaToGraph(current, delta);
+  }
+
+  const EngineStats stats = engine.stats();
+  // The k=40 negative entry is untouchable by any delta below the
+  // degeneracy: it must have been kept by every sweep and hit every round
+  // after the first.
+  EXPECT_GE(stats.cache_partial_kept,
+            static_cast<std::uint64_t>(kRounds - 1));
+  EXPECT_GT(stats.cache_partial_evicted, 0u);
+  EXPECT_GE(stats.cache_hits, static_cast<std::uint64_t>(kRounds - 1));
+  EXPECT_GE(stats.cache_negative_hits,
+            static_cast<std::uint64_t>(kRounds - 1));
+  EXPECT_EQ(stats.deltas_applied, static_cast<std::uint64_t>(kRounds));
+  ExpectOutcomeInvariant(stats);
+}
+
+// -- ApplyDelta TOCTOU ------------------------------------------------------
+
+TEST(QueryEngineDeltaTest, RacingSiblingDeltasCannotApplyAgainstWrongBase) {
+  // Two delta snapshot files recorded against the *same* parent race into
+  // one engine. Whichever enters ApplyDelta's critical section second
+  // must fail the (in-section) parent re-check: with the check outside
+  // the lock — the old code — both pass it before either swap lands, and
+  // the loser silently applies edits against a base it never saw.
+  Graph g = WeightedChungLu(83, 2000);
+  const GraphDelta delta_a = RandomDelta(g, /*seed=*/11, 5, 5, 2);
+  const GraphDelta delta_b = RandomDelta(g, /*seed=*/22, 5, 5, 2);
+  const std::string path_a = ::testing::TempDir() + "/toctou_a.snap";
+  const std::string path_b = ::testing::TempDir() + "/toctou_b.snap";
+  std::string error;
+  ASSERT_TRUE(SaveDeltaSnapshot(path_a, delta_a, g.fingerprint(), &error))
+      << error;
+  ASSERT_TRUE(SaveDeltaSnapshot(path_b, delta_b, g.fingerprint(), &error))
+      << error;
+
+  constexpr int kRounds = 4;  // derandomize scheduling a little
+  for (int round = 0; round < kRounds; ++round) {
+    Graph copy = g;
+    EngineOptions options;
+    options.num_threads = 1;
+    QueryEngine engine(std::move(copy), options);
+
+    std::atomic<int> ready{0};
+    bool ok_a = false, ok_b = false;
+    std::string error_a, error_b;
+    const auto race = [&ready, &engine](const std::string& path, bool* ok,
+                                        std::string* err) {
+      ++ready;
+      while (ready.load() < 2) std::this_thread::yield();
+      *ok = engine.ApplyDeltaSnapshotFile(path, err);
+    };
+    std::thread ta(race, path_a, &ok_a, &error_a);
+    std::thread tb(race, path_b, &ok_b, &error_b);
+    ta.join();
+    tb.join();
+
+    ASSERT_EQ((ok_a ? 1 : 0) + (ok_b ? 1 : 0), 1)
+        << "round " << round << ": both racing deltas applied (a: "
+        << error_a << ", b: " << error_b << ")";
+    const std::string& loser_error = ok_a ? error_b : error_a;
+    EXPECT_NE(loser_error.find("different parent"), std::string::npos)
+        << loser_error;
+    const GraphDelta& winner = ok_a ? delta_a : delta_b;
+    EXPECT_TRUE(engine.graph().fingerprint() ==
+                ApplyDeltaToGraph(g, winner).fingerprint());
+    EXPECT_EQ(engine.stats().deltas_applied, 1u);
   }
 }
 

@@ -352,6 +352,77 @@ TEST(ServerTest, AdmissionControlRejectsInsteadOfStalling) {
             static_cast<std::uint64_t>(kOverload));
 }
 
+TEST(ServerTest, PerConnectionCapKeepsFloodingClientFromStarvingOthers) {
+  // One chatty connection used to be able to claim every global in-flight
+  // slot (admission only checked the total), starving every other client.
+  // With the per-connection cap (auto: max_in_flight / 4, min 1) the
+  // flooder hits its own ceiling while global slots stay free for the
+  // victim.
+  Graph g = WeightedChungLu(67);
+  std::promise<void> release;
+  std::shared_future<void> release_future = release.get_future().share();
+  EngineOptions engine_options;
+  engine_options.num_threads = 2;
+  engine_options.cache_member_budget = 0;
+  engine_options.solve_started_hook_for_test = [release_future] {
+    release_future.wait();
+  };
+  ServerOptions server_options;
+  server_options.max_in_flight = 2;  // per-conn auto-cap: max(2/4, 1) = 1
+  ServerHarness harness(std::move(g), engine_options, server_options);
+  ASSERT_TRUE(harness.ok());
+
+  TestClient flood(harness.port());
+  ASSERT_TRUE(flood.connected());
+  flood.SendLine(R"({"id": 100, "k": 2, "r": 1, "f": "sum"})");
+  flood.SendLine(R"({"id": 101, "k": 2, "r": 2, "f": "sum"})");
+  flood.SendLine(R"({"id": 102, "k": 2, "r": 3, "f": "sum"})");
+
+  // The flooder's first query holds its single per-connection slot (its
+  // solve is parked on the hook); the other two bounce off the cap even
+  // though a global slot is still free.
+  for (int i = 0; i < 2; ++i) {
+    const std::string rejection = flood.ReadLine();
+    ASSERT_FALSE(rejection.empty()) << "no rejection reply " << i;
+    EXPECT_NE(rejection.find("\"kind\": \"rejected\""), std::string::npos)
+        << rejection;
+    EXPECT_NE(rejection.find("connection at capacity"), std::string::npos)
+        << rejection;
+  }
+
+  // The victim's query must be admitted while the flooder's solve is
+  // still parked — that is the starvation the cap exists to prevent.
+  TestClient victim(harness.port());
+  ASSERT_TRUE(victim.connected());
+  victim.SendLine(R"({"id": 200, "k": 2, "r": 1, "f": "min"})");
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (harness.server().stats().queries_submitted < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(harness.server().stats().queries_submitted, 2u);
+
+  release.set_value();
+  const std::string victim_answer = victim.ReadLine();
+  EXPECT_NE(victim_answer.find("\"id\": 200"), std::string::npos)
+      << victim_answer;
+  EXPECT_NE(victim_answer.find("\"communities\""), std::string::npos)
+      << victim_answer;
+  const std::string flood_answer = flood.ReadLine();
+  EXPECT_NE(flood_answer.find("\"id\": 100"), std::string::npos)
+      << flood_answer;
+  EXPECT_NE(flood_answer.find("\"communities\""), std::string::npos)
+      << flood_answer;
+
+  harness.Shutdown();
+  const ServerStats stats = harness.server().stats();
+  EXPECT_EQ(stats.server_rejected_per_conn, 2u);
+  EXPECT_EQ(stats.server_rejected, 0u);
+  EXPECT_EQ(stats.queries_submitted, 2u);
+  EXPECT_EQ(stats.responses_sent, 2u);  // rejections are not completions
+}
+
 TEST(ServerTest, GracefulDrainCompletesInFlightAndRefusesLateConnections) {
   Graph g = WeightedChungLu(29);
   std::promise<void> release;
@@ -591,8 +662,11 @@ TEST(ServerTest, DrainDeadlineForceClosesNeverReadingPeer) {
   ServerOptions server_options;
   server_options.drain_grace_ms = 300;
   // Let replies pile up in the server instead of pausing intake, so the
-  // never-reading peer accumulates a provably unflushable buffer.
+  // never-reading peer accumulates a provably unflushable buffer. The
+  // per-connection fairness cap is lifted for the same reason: this test
+  // wants one connection to flood.
   server_options.max_write_buffer_bytes = 1u << 30;
+  server_options.max_in_flight_per_conn = 1u << 20;
   ServerHarness harness(std::move(g), engine_options, server_options);
   ASSERT_TRUE(harness.ok());
 

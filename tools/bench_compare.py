@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files and fail on regressions.
+
+CI publishes BENCH_*.json per push; this closes the loop by diffing the
+current run against the artifact from the last successful main run:
+
+    bench_compare.py baseline.json current.json \
+        --threshold 0.15 \
+        --counter hit_rate:higher --counter warm_ms:lower
+
+Rules
+-----
+* real_time is compared for every benchmark name present in both files
+  (lower is better). A benchmark missing from either side is reported but
+  never fails the run (benches come and go across PRs).
+* --counter NAME:higher|lower tracks a user counter in the same way;
+  counters absent from a benchmark are skipped.
+* A tracked value regressing by more than --threshold (relative) fails
+  with exit 1. Baseline values of 0 are skipped for relative comparison
+  (a 0 -> x change has no meaningful ratio; it is reported as info).
+* Shared CI runners are noisy: --threshold is deliberately generous, and
+  the job should treat this as a tripwire, not a microbenchmark oracle.
+
+Exit status: 0 ok / nothing comparable, 1 regression, 2 usage or parse
+error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_compare: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    benches = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("name")
+        # Skip aggregate rows (mean/median/stddev of repetitions); raw
+        # iterations carry run_type "iteration" (or no run_type at all in
+        # older formats).
+        if bench.get("run_type", "iteration") != "iteration":
+            continue
+        if name:
+            benches[name] = bench
+    return benches
+
+
+def parse_counter_spec(spec):
+    name, sep, direction = spec.partition(":")
+    if not sep or direction not in ("higher", "lower") or not name:
+        print(f"bench_compare: bad --counter '{spec}' "
+              "(want NAME:higher or NAME:lower)", file=sys.stderr)
+        sys.exit(2)
+    return name, direction
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative regression that fails (default 0.15)")
+    parser.add_argument("--counter", action="append", default=[],
+                        metavar="NAME:higher|lower",
+                        help="also track this user counter; repeatable")
+    args = parser.parse_args()
+
+    baseline = load(args.baseline)
+    current = load(args.current)
+    counters = [parse_counter_spec(spec) for spec in args.counter]
+
+    regressions = []
+    compared = 0
+
+    def check(bench_name, metric, base_value, cur_value, better):
+        nonlocal compared
+        if base_value is None or cur_value is None:
+            return
+        try:
+            base_value = float(base_value)
+            cur_value = float(cur_value)
+        except (TypeError, ValueError):
+            return
+        if base_value == 0:
+            print(f"  info {bench_name} {metric}: baseline 0, "
+                  f"now {cur_value:g} (not compared)")
+            return
+        compared += 1
+        if better == "lower":
+            change = (cur_value - base_value) / base_value
+        else:
+            change = (base_value - cur_value) / base_value
+        marker = "ok  "
+        if change > args.threshold:
+            marker = "FAIL"
+            regressions.append(
+                f"{bench_name} {metric}: {base_value:g} -> {cur_value:g} "
+                f"({change:+.1%} worse, threshold {args.threshold:.0%})")
+        print(f"  {marker} {bench_name} {metric}: "
+              f"{base_value:g} -> {cur_value:g} ({change:+.1%} "
+              f"{'worse' if change > 0 else 'better'})")
+
+    for name in sorted(set(baseline) | set(current)):
+        if name not in baseline:
+            print(f"  new  {name} (no baseline)")
+            continue
+        if name not in current:
+            print(f"  gone {name} (baseline only)")
+            continue
+        base, cur = baseline[name], current[name]
+        check(name, "real_time", base.get("real_time"),
+              cur.get("real_time"), "lower")
+        for counter_name, direction in counters:
+            check(name, counter_name, base.get(counter_name),
+                  cur.get(counter_name), direction)
+
+    if regressions:
+        print(f"\nbench_compare: {len(regressions)} regression(s) over "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        sys.exit(1)
+    print(f"\nbench_compare: {compared} tracked values within "
+          f"{args.threshold:.0%} of baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -41,6 +41,8 @@
 #include "serve/mapped_snapshot.h"
 #include "serve/snapshot.h"
 
+#include "cli_parse.h"
+
 namespace {
 
 struct CliOptions {
@@ -144,6 +146,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* options,
       return true;
     };
     std::string value;
+    unsigned long long number = 0;
     if (arg == "--help" || arg == "-h") {
       options->help = true;
     } else if (arg == "--graph") {
@@ -169,35 +172,57 @@ bool ParseArgs(int argc, char** argv, CliOptions* options,
       options->snapshot_index = true;
     } else if (arg == "--snapshot-format") {
       if (!take(&value)) return false;
-      options->snapshot_format = static_cast<std::uint32_t>(
-          std::strtoul(value.c_str(), nullptr, 10));
+      if (!ticl::tools::ParseUnsigned(value, 0xFFFFFFFFull, &number)) {
+        *error = "invalid --snapshot-format: " + value;
+        return false;
+      }
+      options->snapshot_format = static_cast<std::uint32_t>(number);
     } else if (arg == "--seed") {
       if (!take(&value)) return false;
-      options->seed = std::strtoull(value.c_str(), nullptr, 10);
+      if (!ticl::tools::ParseUnsigned(value, ~0ull, &number)) {
+        *error = "invalid --seed: " + value;
+        return false;
+      }
+      options->seed = number;
     } else if (arg == "--k") {
       if (!take(&value)) return false;
-      options->query.k =
-          static_cast<ticl::VertexId>(std::strtoul(value.c_str(), nullptr, 10));
+      if (!ticl::tools::ParseUnsigned(value, 0xFFFFFFFFull, &number)) {
+        *error = "invalid --k: " + value;
+        return false;
+      }
+      options->query.k = static_cast<ticl::VertexId>(number);
       options->query_requested = true;
     } else if (arg == "--r") {
       if (!take(&value)) return false;
-      options->query.r = static_cast<std::uint32_t>(
-          std::strtoul(value.c_str(), nullptr, 10));
+      if (!ticl::tools::ParseUnsigned(value, 0xFFFFFFFFull, &number)) {
+        *error = "invalid --r: " + value;
+        return false;
+      }
+      options->query.r = static_cast<std::uint32_t>(number);
       options->query_requested = true;
     } else if (arg == "--s") {
       if (!take(&value)) return false;
-      options->query.size_limit =
-          static_cast<ticl::VertexId>(std::strtoul(value.c_str(), nullptr, 10));
+      if (!ticl::tools::ParseUnsigned(value, 0xFFFFFFFFull, &number)) {
+        *error = "invalid --s: " + value;
+        return false;
+      }
+      options->query.size_limit = static_cast<ticl::VertexId>(number);
       options->query_requested = true;
     } else if (arg == "--f") {
       if (!take(&options->aggregation)) return false;
       options->query_requested = true;
     } else if (arg == "--alpha") {
       if (!take(&value)) return false;
-      options->alpha = std::strtod(value.c_str(), nullptr);
+      if (!ticl::tools::ParseDouble(value, &options->alpha)) {
+        *error = "invalid --alpha: " + value;
+        return false;
+      }
     } else if (arg == "--beta") {
       if (!take(&value)) return false;
-      options->beta = std::strtod(value.c_str(), nullptr);
+      if (!ticl::tools::ParseDouble(value, &options->beta)) {
+        *error = "invalid --beta: " + value;
+        return false;
+      }
     } else if (arg == "--non-overlapping") {
       options->query.non_overlapping = true;
       options->query_requested = true;
@@ -206,11 +231,17 @@ bool ParseArgs(int argc, char** argv, CliOptions* options,
       options->query_requested = true;
     } else if (arg == "--epsilon") {
       if (!take(&value)) return false;
-      options->epsilon = std::strtod(value.c_str(), nullptr);
+      if (!ticl::tools::ParseDouble(value, &options->epsilon)) {
+        *error = "invalid --epsilon: " + value;
+        return false;
+      }
     } else if (arg == "--threads") {
       if (!take(&value)) return false;
-      options->threads = static_cast<unsigned>(
-          std::strtoul(value.c_str(), nullptr, 10));
+      if (!ticl::tools::ParseUnsigned(value, 0xFFFFFFFFull, &number)) {
+        *error = "invalid --threads: " + value;
+        return false;
+      }
+      options->threads = static_cast<unsigned>(number);
     } else if (arg == "--output") {
       if (!take(&options->output)) return false;
     } else {

@@ -34,6 +34,7 @@
 // 4 if any query line was malformed or invalid (remaining lines are
 // still answered).
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,7 +51,11 @@
 #include "serve/snapshot.h"
 #include "util/timing.h"
 
+#include "cli_parse.h"
+
 namespace {
+
+using ticl::tools::ParseUnsigned;
 
 struct CliOptions {
   std::string snapshot_path;
@@ -59,6 +64,8 @@ struct CliOptions {
   std::string queries_path = "-";  // "-" = stdin
   unsigned threads = 0;            // 0 = hardware concurrency
   std::size_t cache_member_budget = 1u << 20;
+  std::uint64_t cache_ttl_ms = 0;
+  bool cache_partial = true;
   std::string solver = "auto";
   double epsilon = 0.1;
   unsigned repeat = 1;
@@ -82,6 +89,11 @@ void PrintUsage() {
       "  --cache N         LRU result-cache budget in cached community\n"
       "                    members (size-aware), 0 disables "
       "(default 1048576)\n"
+      "  --cache-ttl-ms N  per-entry result-cache TTL in milliseconds;\n"
+      "                    0 = cached answers never expire (default 0)\n"
+      "  --no-partial-invalidation\n"
+      "                    deltas clear the whole result cache instead of\n"
+      "                    only the affected k-levels (kill-switch)\n"
       "  --solver NAME     auto|naive|improved|approx|exact|local-greedy|\n"
       "                    local-random|min-peel|max-components "
       "(default auto)\n"
@@ -107,6 +119,7 @@ bool ParseArgs(int argc, char** argv, CliOptions* options,
       return true;
     };
     std::string value;
+    unsigned long long number = 0;
     if (arg == "--help" || arg == "-h") {
       options->help = true;
     } else if (arg == "--snapshot") {
@@ -120,22 +133,44 @@ bool ParseArgs(int argc, char** argv, CliOptions* options,
       if (!take(&options->queries_path)) return false;
     } else if (arg == "--threads") {
       if (!take(&value)) return false;
-      options->threads =
-          static_cast<unsigned>(std::strtoul(value.c_str(), nullptr, 10));
+      if (!ParseUnsigned(value, 0xFFFFFFFFull, &number)) {
+        *error = "invalid --threads: " + value;
+        return false;
+      }
+      options->threads = static_cast<unsigned>(number);
     } else if (arg == "--cache") {
       if (!take(&value)) return false;
-      options->cache_member_budget =
-          std::strtoull(value.c_str(), nullptr, 10);
+      if (!ParseUnsigned(value, ~0ull, &number)) {
+        *error = "invalid --cache: " + value;
+        return false;
+      }
+      options->cache_member_budget = number;
+    } else if (arg == "--cache-ttl-ms") {
+      if (!take(&value)) return false;
+      // A typo'd TTL silently parsing as 0 would disable the staleness
+      // bound the operator asked for.
+      if (!ParseUnsigned(value, ~0ull, &number)) {
+        *error = "invalid --cache-ttl-ms: " + value;
+        return false;
+      }
+      options->cache_ttl_ms = number;
+    } else if (arg == "--no-partial-invalidation") {
+      options->cache_partial = false;
     } else if (arg == "--solver") {
       if (!take(&options->solver)) return false;
     } else if (arg == "--epsilon") {
       if (!take(&value)) return false;
-      options->epsilon = std::strtod(value.c_str(), nullptr);
+      if (!ticl::tools::ParseDouble(value, &options->epsilon)) {
+        *error = "invalid --epsilon: " + value;
+        return false;
+      }
     } else if (arg == "--repeat") {
       if (!take(&value)) return false;
-      options->repeat =
-          static_cast<unsigned>(std::strtoul(value.c_str(), nullptr, 10));
-      if (options->repeat == 0) options->repeat = 1;
+      if (!ParseUnsigned(value, 0xFFFFFFFFull, &number) || number == 0) {
+        *error = "--repeat must be a positive integer";
+        return false;
+      }
+      options->repeat = static_cast<unsigned>(number);
     } else if (arg == "--no-validate") {
       options->validate = false;
     } else {
@@ -179,6 +214,8 @@ int main(int argc, char** argv) {
   ticl::EngineOptions engine_options;
   engine_options.num_threads = options.threads;
   engine_options.cache_member_budget = options.cache_member_budget;
+  engine_options.cache_ttl_ms = options.cache_ttl_ms;
+  engine_options.cache_partial_invalidation = options.cache_partial;
   engine_options.solve.epsilon = options.epsilon;
   if (!ticl::ParseSolverKind(options.solver, &engine_options.solve.solver)) {
     std::fprintf(stderr, "error: unknown solver: %s\n", options.solver.c_str());
@@ -311,16 +348,21 @@ int main(int argc, char** argv) {
 
   const ticl::EngineStats stats = engine->stats();
   std::fprintf(stderr,
-               "%zu queries in %.3fs (%.1f queries/s), cache %llu hits / "
-               "%llu misses / %llu coalesced, %llu uncacheable (over "
-               "budget), %llu deltas applied\n",
+               "%zu queries in %.3fs (%.1f queries/s), cache %llu hits "
+               "(%llu negative) / %llu misses / %llu coalesced / %llu "
+               "uncacheable / %llu expired, %llu deltas applied (%llu "
+               "entries kept / %llu evicted by partial invalidation)\n",
                answered, batch_seconds,
                batch_seconds > 0.0 ? answered / batch_seconds : 0.0,
                static_cast<unsigned long long>(stats.cache_hits),
+               static_cast<unsigned long long>(stats.cache_negative_hits),
                static_cast<unsigned long long>(stats.cache_misses),
                static_cast<unsigned long long>(stats.cache_coalesced),
                static_cast<unsigned long long>(stats.cache_uncacheable),
-               static_cast<unsigned long long>(stats.deltas_applied));
+               static_cast<unsigned long long>(stats.cache_expired),
+               static_cast<unsigned long long>(stats.deltas_applied),
+               static_cast<unsigned long long>(stats.cache_partial_kept),
+               static_cast<unsigned long long>(stats.cache_partial_evicted));
 
   if (had_validation_failure) return 3;
   if (had_bad_input) return 4;

@@ -31,6 +31,7 @@
 #include <atomic>
 #include <cerrno>
 #include <csignal>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,7 +44,11 @@
 #include "serve/snapshot.h"
 #include "util/timing.h"
 
+#include "cli_parse.h"
+
 namespace {
+
+using ticl::tools::ParseUnsigned;
 
 struct CliOptions {
   std::string snapshot_path;
@@ -53,9 +58,12 @@ struct CliOptions {
   unsigned port = 7421;
   unsigned threads = 0;
   std::size_t cache_member_budget = 1u << 20;
+  std::uint64_t cache_ttl_ms = 0;
+  bool cache_partial = true;
   std::string solver = "auto";
   double epsilon = 0.1;
   std::size_t max_in_flight = 256;
+  std::size_t max_in_flight_per_conn = 0;
   std::size_t max_connections = 1024;
   bool admin = true;
   bool help = false;
@@ -79,6 +87,11 @@ void PrintUsage() {
       "concurrency)\n"
       "  --cache N          LRU result-cache budget in cached community\n"
       "                     members, 0 disables (default 1048576)\n"
+      "  --cache-ttl-ms N   per-entry result-cache TTL in milliseconds;\n"
+      "                     0 = cached answers never expire (default 0)\n"
+      "  --no-partial-invalidation\n"
+      "                     deltas clear the whole result cache instead\n"
+      "                     of only the affected k-levels (kill-switch)\n"
       "  --solver NAME      auto|naive|improved|approx|exact|local-greedy|\n"
       "                     local-random|min-peel|max-components "
       "(default auto)\n"
@@ -86,6 +99,10 @@ void PrintUsage() {
       "  --max-in-flight N  admission control: queries inside the engine\n"
       "                     at once; excess load is rejected with a JSON\n"
       "                     error (default 256)\n"
+      "  --max-in-flight-per-conn N\n"
+      "                     fairness cap per connection; 0 = auto\n"
+      "                     (max-in-flight / 4, min 1) so one chatty\n"
+      "                     client cannot claim every slot (default 0)\n"
       "  --max-connections N  accepted sockets beyond this are closed\n"
       "                     (default 1024)\n"
       "  --no-admin         disable apply_delta/stats/drain/ping admin\n"
@@ -93,21 +110,6 @@ void PrintUsage() {
       "\n"
       "Wire protocol: one JSON request per line in, one JSON reply per\n"
       "line out — identical to ticl_serve's batch pipe. See README.\n");
-}
-
-/// Strict decimal parse: the whole token must be digits and fit under
-/// `max`. strtoul alone would quietly read "74z1" as 74 — an operator
-/// typo that binds the wrong port deserves an error, not a surprise.
-bool ParseUnsigned(const std::string& value, unsigned long long max,
-                   unsigned long long* out) {
-  if (value.empty()) return false;
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(value.c_str(), &end, 10);
-  if (errno != 0 || end != value.c_str() + value.size()) return false;
-  if (value[0] == '-' || parsed > max) return false;
-  *out = parsed;
-  return true;
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options,
@@ -156,13 +158,20 @@ bool ParseArgs(int argc, char** argv, CliOptions* options,
         return false;
       }
       options->cache_member_budget = number;
+    } else if (arg == "--cache-ttl-ms") {
+      if (!take(&value)) return false;
+      if (!ParseUnsigned(value, ~0ull, &number)) {
+        *error = "invalid --cache-ttl-ms: " + value;
+        return false;
+      }
+      options->cache_ttl_ms = number;
+    } else if (arg == "--no-partial-invalidation") {
+      options->cache_partial = false;
     } else if (arg == "--solver") {
       if (!take(&options->solver)) return false;
     } else if (arg == "--epsilon") {
       if (!take(&value)) return false;
-      char* end = nullptr;
-      options->epsilon = std::strtod(value.c_str(), &end);
-      if (value.empty() || end != value.c_str() + value.size()) {
+      if (!ticl::tools::ParseDouble(value, &options->epsilon)) {
         *error = "invalid --epsilon: " + value;
         return false;
       }
@@ -173,6 +182,13 @@ bool ParseArgs(int argc, char** argv, CliOptions* options,
         return false;
       }
       options->max_in_flight = number;
+    } else if (arg == "--max-in-flight-per-conn") {
+      if (!take(&value)) return false;
+      if (!ParseUnsigned(value, ~0ull, &number)) {
+        *error = "invalid --max-in-flight-per-conn: " + value;
+        return false;
+      }
+      options->max_in_flight_per_conn = number;
     } else if (arg == "--max-connections") {
       if (!take(&value)) return false;
       if (!ParseUnsigned(value, ~0ull, &number) || number == 0) {
@@ -225,6 +241,8 @@ int main(int argc, char** argv) {
   ticl::EngineOptions engine_options;
   engine_options.num_threads = options.threads;
   engine_options.cache_member_budget = options.cache_member_budget;
+  engine_options.cache_ttl_ms = options.cache_ttl_ms;
+  engine_options.cache_partial_invalidation = options.cache_partial;
   engine_options.solve.epsilon = options.epsilon;
   if (!ticl::ParseSolverKind(options.solver, &engine_options.solve.solver)) {
     std::fprintf(stderr, "error: unknown solver: %s\n",
@@ -260,6 +278,7 @@ int main(int argc, char** argv) {
   server_options.bind_address = options.bind_address;
   server_options.port = static_cast<std::uint16_t>(options.port);
   server_options.max_in_flight = options.max_in_flight;
+  server_options.max_in_flight_per_conn = options.max_in_flight_per_conn;
   server_options.max_connections = options.max_connections;
   server_options.enable_admin = options.admin;
   ticl::Server server(engine.get(), server_options);
@@ -305,17 +324,24 @@ int main(int argc, char** argv) {
   std::fprintf(
       stderr,
       "drained: %llu connections, %llu queries answered (%llu rejected, "
-      "%llu invalid, %llu parse errors, %llu dropped), cache %llu hits / "
-      "%llu misses / %llu coalesced, %llu deltas applied\n",
+      "%llu per-conn rejected, %llu invalid, %llu parse errors, %llu "
+      "dropped), cache %llu hits (%llu negative) / %llu misses / %llu "
+      "coalesced / %llu expired, %llu deltas applied (%llu entries kept / "
+      "%llu evicted by partial invalidation)\n",
       static_cast<unsigned long long>(server_stats.connections_accepted),
       static_cast<unsigned long long>(server_stats.responses_sent),
       static_cast<unsigned long long>(server_stats.server_rejected),
+      static_cast<unsigned long long>(server_stats.server_rejected_per_conn),
       static_cast<unsigned long long>(server_stats.invalid_queries),
       static_cast<unsigned long long>(server_stats.parse_errors),
       static_cast<unsigned long long>(server_stats.responses_dropped),
       static_cast<unsigned long long>(engine_stats.cache_hits),
+      static_cast<unsigned long long>(engine_stats.cache_negative_hits),
       static_cast<unsigned long long>(engine_stats.cache_misses),
       static_cast<unsigned long long>(engine_stats.cache_coalesced),
-      static_cast<unsigned long long>(engine_stats.deltas_applied));
+      static_cast<unsigned long long>(engine_stats.cache_expired),
+      static_cast<unsigned long long>(engine_stats.deltas_applied),
+      static_cast<unsigned long long>(engine_stats.cache_partial_kept),
+      static_cast<unsigned long long>(engine_stats.cache_partial_evicted));
   return 0;
 }
